@@ -1,0 +1,188 @@
+// Shared harness for the figure/table reproduction benches.
+#ifndef CHILLER_BENCH_BENCH_COMMON_H_
+#define CHILLER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/cluster.h"
+#include "cc/driver.h"
+#include "cc/occ.h"
+#include "cc/replication.h"
+#include "cc/twopl.h"
+#include "chiller/two_region.h"
+#include "partition/chiller_partitioner.h"
+#include "partition/hot_decorator.h"
+#include "partition/metrics.h"
+#include "partition/schism.h"
+#include "workload/instacart.h"
+#include "workload/tpcc/tpcc_workload.h"
+
+namespace chiller::bench {
+
+/// A fully wired simulated cluster + protocol + driver.
+struct Env {
+  std::unique_ptr<cc::Cluster> cluster;
+  std::unique_ptr<partition::RecordPartitioner> owned_partitioner;
+  const partition::RecordPartitioner* partitioner = nullptr;
+  std::unique_ptr<cc::ReplicationManager> repl;
+  std::unique_ptr<cc::Protocol> protocol;
+  std::unique_ptr<cc::Driver> driver;
+};
+
+/// Protocol factory. "chiller-plain" = Chiller partitioning with two-region
+/// execution disabled (the re-ordering ablation).
+inline std::unique_ptr<cc::Protocol> MakeProtocol(
+    const std::string& name, cc::Cluster* cluster,
+    const partition::RecordPartitioner* part, cc::ReplicationManager* repl) {
+  if (name == "2pl") {
+    return std::make_unique<cc::TwoPhaseLocking>(cluster, part, repl);
+  }
+  if (name == "occ") {
+    return std::make_unique<cc::Occ>(cluster, part, repl);
+  }
+  if (name == "chiller") {
+    return std::make_unique<core::ChillerProtocol>(cluster, part, repl);
+  }
+  if (name == "chiller-plain") {
+    return std::make_unique<core::ChillerProtocol>(cluster, part, repl,
+                                                   /*enable_two_region=*/false);
+  }
+  std::fprintf(stderr, "unknown protocol %s\n", name.c_str());
+  std::abort();
+}
+
+/// TPC-C cluster: `warehouses` = nodes * engines_per_node, partitioned by
+/// warehouse (the Figure 9/10 setup).
+inline Env MakeTpccEnv(const std::string& proto, uint32_t nodes,
+                       uint32_t engines_per_node,
+                       workload::tpcc::TpccWorkload* workload,
+                       uint32_t concurrency, uint64_t seed = 1) {
+  namespace tpcc = workload::tpcc;
+  Env env;
+  cc::ClusterConfig cfg;
+  cfg.topology = net::Topology{.num_nodes = nodes,
+                               .engines_per_node = engines_per_node,
+                               .replication_degree = 2};
+  cfg.schema = tpcc::Schema();
+  env.cluster = std::make_unique<cc::Cluster>(cfg);
+  auto part = std::make_unique<tpcc::TpccPartitioner>(
+      nodes * engines_per_node);
+  tpcc::PopulateTpcc(
+      nodes * engines_per_node,
+      [&](const RecordId& rid, const storage::Record& rec) {
+        env.cluster->LoadRecord(rid, rec, *part);
+      },
+      [&](const RecordId& rid, const storage::Record& rec) {
+        env.cluster->LoadEverywhere(rid, rec);
+      });
+  env.partitioner = part.get();
+  env.owned_partitioner = std::move(part);
+  env.repl = std::make_unique<cc::ReplicationManager>(env.cluster.get());
+  env.protocol = MakeProtocol(proto, env.cluster.get(), env.partitioner,
+                              env.repl.get());
+  env.driver = std::make_unique<cc::Driver>(env.cluster.get(),
+                                            env.protocol.get(), workload,
+                                            concurrency, seed);
+  return env;
+}
+
+/// Instacart cluster under a caller-supplied layout.
+inline Env MakeInstacartEnv(const std::string& proto, uint32_t partitions,
+                            workload::instacart::InstacartWorkload* workload,
+                            const partition::RecordPartitioner* layout,
+                            uint32_t concurrency, uint64_t seed = 1) {
+  Env env;
+  cc::ClusterConfig cfg;
+  cfg.topology = net::Topology{.num_nodes = partitions,
+                               .engines_per_node = 1,
+                               .replication_degree = 2};
+  cfg.schema = workload::instacart::Schema();
+  env.cluster = std::make_unique<cc::Cluster>(cfg);
+  workload->ForEachRecord(
+      [&](const RecordId& rid, const storage::Record& rec) {
+        env.cluster->LoadRecord(rid, rec, *layout);
+      });
+  env.partitioner = layout;
+  env.repl = std::make_unique<cc::ReplicationManager>(env.cluster.get());
+  env.protocol = MakeProtocol(proto, env.cluster.get(), env.partitioner,
+                              env.repl.get());
+  env.driver = std::make_unique<cc::Driver>(env.cluster.get(),
+                                            env.protocol.get(), workload,
+                                            concurrency, seed);
+  return env;
+}
+
+/// The three Instacart layouts of Figure 7/8, all exposing the same
+/// hot-record set so the run-time decision is identical across layouts and
+/// only placement differs.
+struct InstacartLayouts {
+  std::unique_ptr<partition::RecordPartitioner> hash_base;
+  std::unique_ptr<partition::HotDecorator> hashing;
+  partition::SchismPartitioner::Output schism_out;
+  std::unique_ptr<partition::HotDecorator> schism;
+  partition::ChillerPartitioner::Output chiller_out;
+  std::vector<partition::TxnAccessTrace> traces;
+  partition::StatsCollector stats;
+};
+
+inline InstacartLayouts BuildInstacartLayouts(
+    workload::instacart::InstacartWorkload* workload, uint32_t k,
+    size_t trace_txns, uint64_t seed = 7, double hot_threshold = 0.01) {
+  InstacartLayouts out;
+  Rng rng(seed);
+  out.traces = workload->GenerateTrace(trace_txns, &rng);
+  for (const auto& t : out.traces) out.stats.ObserveTrace(t);
+
+  partition::ChillerPartitioner::Options copts;
+  copts.k = k;
+  copts.hot_threshold = hot_threshold;
+  copts.epsilon = 0.1;
+  // Balance record *accesses* per partition (Section 4.3's third load
+  // metric): the skewed grocery workload overloads a popular partition
+  // under a plain record-count balance.
+  copts.metric = partition::LoadMetric::kAccessCount;
+  copts.fallback_fn = workload::instacart::InstacartFallback;
+  out.chiller_out = partition::ChillerPartitioner::Build(out.traces, copts);
+
+  out.schism_out = partition::SchismPartitioner::Build(
+      out.traces, {.k = k, .epsilon = 0.1,
+                   .fallback_fn = workload::instacart::InstacartFallback});
+
+  std::vector<RecordId> hot;
+  for (const auto& [rid, pc] : out.chiller_out.hot_records) {
+    (void)pc;
+    hot.push_back(rid);
+  }
+  out.hash_base = std::make_unique<partition::HashPartitioner>(
+      k, workload::instacart::InstacartFallback);
+  out.hashing = std::make_unique<partition::HotDecorator>(out.hash_base.get(),
+                                                          hot);
+  out.schism = std::make_unique<partition::HotDecorator>(
+      out.schism_out.partitioner.get(), hot);
+  return out;
+}
+
+/// Prints a series row: label followed by one value per column.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values, const char* fmt) {
+  std::printf("%-22s", label.c_str());
+  for (double v : values) {
+    std::printf("  ");
+    std::printf(fmt, v);
+  }
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& label,
+                        const std::vector<double>& columns) {
+  std::printf("%-22s", label.c_str());
+  for (double c : columns) std::printf("  %8g", c);
+  std::printf("\n");
+}
+
+}  // namespace chiller::bench
+
+#endif  // CHILLER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,70 @@
+// Figure 10: impact of the fraction of distributed transactions.
+// TPC-C restricted to NewOrder + Payment at 50/50; the probability that a
+// transaction crosses warehouses is swept from 0 to 100%.
+//
+// Paper expectation: every baseline degrades steeply (especially with 5
+// open transactions, where longer lock spans amplify existing conflicts);
+// Chiller is highest and degrades < 20% end to end.
+#include "bench/bench_common.h"
+
+namespace chiller::bench {
+namespace {
+
+namespace tpcc = workload::tpcc;
+
+constexpr uint32_t kNodes = 8;
+constexpr uint32_t kEnginesPerNode = 10;
+constexpr SimTime kWarmup = 3 * kMillisecond;
+constexpr SimTime kMeasure = 12 * kMillisecond;
+
+double RunOne(const std::string& proto, uint32_t concurrency, double pct) {
+  tpcc::TpccWorkload::Options wopts;
+  wopts.num_warehouses = kNodes * kEnginesPerNode;
+  wopts.pct_new_order = 50;
+  wopts.pct_payment = 50;
+  wopts.pct_order_status = 0;
+  wopts.pct_delivery = 0;
+  wopts.pct_stock_level = 0;
+  wopts.remote_new_order_prob = pct / 100.0;
+  wopts.remote_payment_prob = pct / 100.0;
+  tpcc::TpccWorkload workload(wopts);
+  Env env = MakeTpccEnv(proto, kNodes, kEnginesPerNode, &workload,
+                        concurrency, /*seed=*/static_cast<uint64_t>(pct) + 1);
+  auto stats = env.driver->Run(kWarmup, kMeasure);
+  return stats.Throughput() / 1e6;
+}
+
+void Main() {
+  std::printf(
+      "Figure 10 — throughput (M txns/sec) vs %% distributed transactions\n"
+      "(TPC-C NewOrder+Payment 50/50, %u warehouses).\n"
+      "paper shape: Chiller best, degrades < 20%%; 2PL/OCC with 5 open\n"
+      "txns collapse as distribution grows.\n\n",
+      kNodes * kEnginesPerNode);
+
+  std::vector<double> pcts = {0, 20, 40, 60, 80, 100};
+  std::vector<double> twopl1, occ1, twopl5, occ5, chiller5;
+  for (double pct : pcts) {
+    twopl1.push_back(RunOne("2pl", 1, pct));
+    occ1.push_back(RunOne("occ", 1, pct));
+    twopl5.push_back(RunOne("2pl", 5, pct));
+    occ5.push_back(RunOne("occ", 5, pct));
+    chiller5.push_back(RunOne("chiller", 5, pct));
+    std::fprintf(stderr, "  [fig10] %.0f%% distributed done\n", pct);
+  }
+
+  PrintHeader("% distributed txns", pcts);
+  PrintRow("2PL (1 txn)", twopl1, "%8.3f");
+  PrintRow("OCC (1 txn)", occ1, "%8.3f");
+  PrintRow("2PL (5 txns)", twopl5, "%8.3f");
+  PrintRow("OCC (5 txns)", occ5, "%8.3f");
+  PrintRow("Chiller", chiller5, "%8.3f");
+
+  std::printf("\nChiller degradation 0%% -> 100%%: %.1f%% (paper: <20%%)\n",
+              100.0 * (1.0 - chiller5.back() / chiller5.front()));
+}
+
+}  // namespace
+}  // namespace chiller::bench
+
+int main() { chiller::bench::Main(); }

@@ -1,0 +1,66 @@
+// Figure 8: ratio of distributed transactions produced by each partitioning
+// scheme, vs. number of partitions, on the Instacart-like workload.
+//
+// Paper expectation: Schism lowest (it optimizes exactly this metric);
+// Chiller noticeably higher (~+60% at 2 partitions, gap narrowing with
+// more partitions); hashing highest. Chiller wins Figure 7 anyway — the
+// point of the paper: distributed-transaction count is the wrong objective
+// on fast networks.
+#include "bench/bench_common.h"
+
+namespace chiller::bench {
+namespace {
+
+namespace instacart = workload::instacart;
+
+void Main() {
+  std::printf(
+      "Figure 8 — ratio of distributed transactions vs partitions\n"
+      "paper shape: Schism < Chiller < Hashing; gap narrows with more\n"
+      "partitions.\n\n");
+
+  instacart::InstacartWorkload::Options wopts;
+  wopts.num_products = 20000;
+  wopts.num_customers = 50000;
+
+  std::vector<double> ks = {2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> hash_s, schism_s, chiller_s, resid_chiller, resid_hash,
+      resid_schism;
+  for (double kd : ks) {
+    const uint32_t k = static_cast<uint32_t>(kd);
+    instacart::InstacartWorkload wl(wopts);
+    auto layouts = BuildInstacartLayouts(&wl, k, /*trace_txns=*/8000);
+    // Evaluate on a fresh sample from the same distribution (test set).
+    Rng rng(1000 + k);
+    auto eval = wl.GenerateTrace(8000, &rng);
+    hash_s.push_back(partition::DistributedRatio(eval, *layouts.hashing));
+    schism_s.push_back(partition::DistributedRatio(eval, *layouts.schism));
+    chiller_s.push_back(
+        partition::DistributedRatio(eval, *layouts.chiller_out.partitioner));
+    partition::StatsCollector stats;
+    for (const auto& t : eval) stats.ObserveTrace(t);
+    resid_hash.push_back(
+        partition::ResidualContention(eval, *layouts.hashing, stats, 16.0));
+    resid_schism.push_back(
+        partition::ResidualContention(eval, *layouts.schism, stats, 16.0));
+    resid_chiller.push_back(partition::ResidualContention(
+        eval, *layouts.chiller_out.partitioner, stats, 16.0));
+  }
+
+  PrintHeader("partitions", ks);
+  PrintRow("Hashing", hash_s, "%8.3f");
+  PrintRow("Schism", schism_s, "%8.3f");
+  PrintRow("Chiller", chiller_s, "%8.3f");
+
+  std::printf("\nResidual contention (the objective Chiller optimizes; "
+              "lower is better):\n");
+  PrintHeader("partitions", ks);
+  PrintRow("Hashing", resid_hash, "%8.1f");
+  PrintRow("Schism", resid_schism, "%8.1f");
+  PrintRow("Chiller", resid_chiller, "%8.1f");
+}
+
+}  // namespace
+}  // namespace chiller::bench
+
+int main() { chiller::bench::Main(); }

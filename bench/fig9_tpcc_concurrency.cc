@@ -1,0 +1,101 @@
+// Figure 9: standard full TPC-C mix on 8 nodes, one warehouse per engine,
+// identical by-warehouse partitioning for all systems; sweep the number of
+// concurrent transactions per warehouse.
+//
+//  (a) throughput — paper shape: 2PL == Chiller at 1 open txn; only
+//      Chiller rises with concurrency (peaking around 4, then CPU-bound);
+//      OCC is the worst throughout.
+//  (b) abort rate — 2PL and OCC climb steeply; Chiller stays low.
+//  (c) 2PL per-class abort rates — Payment approaches 100% (starved by
+//      NewOrder's shared warehouse locks), NewOrder moderate, StockLevel
+//      lowest.
+#include "bench/bench_common.h"
+
+namespace chiller::bench {
+namespace {
+
+namespace tpcc = workload::tpcc;
+
+constexpr uint32_t kNodes = 8;
+constexpr uint32_t kEnginesPerNode = 10;  // 80 warehouses, as in the paper
+constexpr SimTime kWarmup = 3 * kMillisecond;
+constexpr SimTime kMeasure = 15 * kMillisecond;
+
+struct Point {
+  double throughput_m;  // M txns/sec
+  double abort_rate;
+  double abort_new_order;
+  double abort_payment;
+  double abort_stock_level;
+};
+
+Point RunOne(const std::string& proto, uint32_t concurrency) {
+  tpcc::TpccWorkload workload(
+      tpcc::TpccWorkload::Options{.num_warehouses = kNodes * kEnginesPerNode});
+  Env env = MakeTpccEnv(proto, kNodes, kEnginesPerNode, &workload,
+                        concurrency, /*seed=*/concurrency);
+  auto stats = env.driver->Run(kWarmup, kMeasure);
+  Point p;
+  p.throughput_m = stats.Throughput() / 1e6;
+  p.abort_rate = stats.AbortRate();
+  p.abort_new_order = stats.classes[tpcc::kNewOrderTxn].AbortRate();
+  p.abort_payment = stats.classes[tpcc::kPaymentTxn].AbortRate();
+  p.abort_stock_level = stats.classes[tpcc::kStockLevelTxn].AbortRate();
+  return p;
+}
+
+void Main() {
+  std::printf(
+      "Figure 9 — full TPC-C, %u nodes x %u engines (1 warehouse each),\n"
+      "same by-warehouse partitioning for every protocol; sweeping\n"
+      "concurrent transactions per warehouse.\n\n",
+      kNodes, kEnginesPerNode);
+
+  std::vector<double> conc = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<Point> twopl, occ, chiller;
+  for (double cd : conc) {
+    const uint32_t c = static_cast<uint32_t>(cd);
+    twopl.push_back(RunOne("2pl", c));
+    occ.push_back(RunOne("occ", c));
+    chiller.push_back(RunOne("chiller", c));
+    std::fprintf(stderr, "  [fig9] concurrency=%u done\n", c);
+  }
+
+  auto series = [&](const std::vector<Point>& pts, auto field) {
+    std::vector<double> out;
+    for (const Point& p : pts) out.push_back(field(p));
+    return out;
+  };
+
+  std::printf("(a) Throughput (M txns/sec)\n");
+  PrintHeader("# conc txns/warehouse", conc);
+  PrintRow("2PL", series(twopl, [](auto& p) { return p.throughput_m; }),
+           "%8.3f");
+  PrintRow("OCC", series(occ, [](auto& p) { return p.throughput_m; }),
+           "%8.3f");
+  PrintRow("Chiller",
+           series(chiller, [](auto& p) { return p.throughput_m; }), "%8.3f");
+
+  std::printf("\n(b) Abort rate\n");
+  PrintHeader("# conc txns/warehouse", conc);
+  PrintRow("2PL", series(twopl, [](auto& p) { return p.abort_rate; }),
+           "%8.3f");
+  PrintRow("OCC", series(occ, [](auto& p) { return p.abort_rate; }), "%8.3f");
+  PrintRow("Chiller", series(chiller, [](auto& p) { return p.abort_rate; }),
+           "%8.3f");
+
+  std::printf("\n(c) Abort rate breakdown for 2PL\n");
+  PrintHeader("# conc txns/warehouse", conc);
+  PrintRow("New-order",
+           series(twopl, [](auto& p) { return p.abort_new_order; }), "%8.3f");
+  PrintRow("Payment", series(twopl, [](auto& p) { return p.abort_payment; }),
+           "%8.3f");
+  PrintRow("Stock-level",
+           series(twopl, [](auto& p) { return p.abort_stock_level; }),
+           "%8.3f");
+}
+
+}  // namespace
+}  // namespace chiller::bench
+
+int main() { chiller::bench::Main(); }

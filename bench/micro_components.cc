@@ -1,0 +1,142 @@
+// google-benchmark micro benchmarks for the core components, including the
+// Section 4.1 claim that contention likelihoods for ~1M records compute in
+// seconds.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "partition/contention_model.h"
+#include "partition/multilevel_partitioner.h"
+#include "partition/stats_collector.h"
+#include "partition/workload_graph.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "storage/lock_word.h"
+#include "txn/dependency_graph.h"
+#include "workload/flight.h"
+
+namespace chiller {
+namespace {
+
+void BM_LockWordAcquireRelease(benchmark::State& state) {
+  uint64_t w = storage::LockWord::MakeFree(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::LockWord::TryAcquireExclusive(&w));
+    storage::LockWord::ReleaseExclusive(&w, true);
+  }
+}
+BENCHMARK(BM_LockWordAcquireRelease);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  Rng rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.Push(rng.Uniform(1000000), [] {});
+    while (!q.empty()) q.Pop();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.Schedule(static_cast<SimTime>(i), [&count] { ++count; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_ZipfNext(benchmark::State& state) {
+  ZipfGenerator zipf(1000000, 0.99);
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.Next(&rng));
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_AliasSamplerNext(benchmark::State& state) {
+  std::vector<double> weights(100000);
+  Rng seed_rng(3);
+  for (auto& w : weights) w = seed_rng.NextDouble();
+  AliasSampler sampler(weights);
+  Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.Next(&rng));
+}
+BENCHMARK(BM_AliasSamplerNext);
+
+void BM_ContentionLikelihood(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::ContentionModel::ConflictLikelihood(
+        rng.NextDouble() * 4, rng.NextDouble() * 4));
+  }
+}
+BENCHMARK(BM_ContentionLikelihood);
+
+/// Section 4.1: "even for a sample with one million records, such
+/// calculation can be performed in a matter of a few seconds".
+void BM_ContentionForMillionRecords(benchmark::State& state) {
+  partition::StatsCollector stats;
+  Rng rng(6);
+  partition::TxnAccessTrace trace;
+  for (int t = 0; t < 100000; ++t) {
+    trace.accesses.clear();
+    for (int i = 0; i < 10; ++i) {
+      trace.accesses.emplace_back(RecordId{0, rng.Uniform(1000000)},
+                                  rng.Bernoulli(0.5));
+    }
+    stats.ObserveTrace(trace);
+  }
+  for (auto _ : state) {
+    auto pcs = stats.ContentionLikelihoods(16.0);
+    benchmark::DoNotOptimize(pcs.data());
+  }
+}
+BENCHMARK(BM_ContentionForMillionRecords)->Unit(benchmark::kMillisecond);
+
+void BM_TwoRegionPlan(benchmark::State& state) {
+  workload::FlightPartitioner part(8, 10);
+  auto t = workload::MakeBookingTxn(5, 12345);
+  t->ResolveReadyKeys();
+  for (auto& a : t->accesses) {
+    if (a.key_resolved) a.partition = part.PartitionOf(a.rid);
+  }
+  for (auto _ : state) {
+    auto plan = txn::DependencyAnalysis::Plan(
+        *t, [&](const RecordId& r) { return part.IsHot(r); },
+        [&](const RecordId& r) { return part.PartitionOf(r); });
+    benchmark::DoNotOptimize(plan.inner_host);
+  }
+}
+BENCHMARK(BM_TwoRegionPlan);
+
+void BM_MultilevelPartition(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(7);
+  partition::Graph g;
+  g.adj.resize(n);
+  g.vwgt.assign(n, 1.0);
+  for (uint32_t e = 0; e < n * 4; ++e) {
+    uint32_t a = rng.Uniform(n), b = rng.Uniform(n);
+    if (a == b) continue;
+    g.adj[a].emplace_back(b, 1.0 + rng.NextDouble());
+    g.adj[b].emplace_back(a, 1.0 + rng.NextDouble());
+  }
+  for (auto _ : state) {
+    auto result = partition::MultilevelPartitioner::Partition(
+        g, {.k = 8, .seed = 11});
+    benchmark::DoNotOptimize(result.cut_weight);
+  }
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace chiller
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// In-text results of Sections 4.4 and 7.2.2:
+//  - lookup-table size: Schism stores every trace record; Chiller stores
+//    hot records only (paper: Schism ~10x larger);
+//  - graph size: n(n-1)/2 edges per transaction (Schism) vs n (Chiller);
+//  - partitioning cost: graph construction + partitioning wall-clock
+//    (paper: Schism up to 5x slower).
+#include "bench/bench_common.h"
+
+namespace chiller::bench {
+namespace {
+
+namespace instacart = workload::instacart;
+
+void Main() {
+  std::printf(
+      "Sections 4.4 / 7.2.2 — lookup-table size, graph size, and\n"
+      "partitioning cost: Schism vs Chiller on the Instacart-like "
+      "workload.\n\n");
+
+  instacart::InstacartWorkload::Options wopts;
+  wopts.num_products = 30000;
+  wopts.num_customers = 100000;
+  instacart::InstacartWorkload wl(wopts);
+
+  const uint32_t k = 8;
+  std::printf("%-10s %14s %14s %14s %14s\n", "trace", "schism-edges",
+              "chiller-edges", "schism-ms", "chiller-ms");
+  for (size_t trace_txns : {5000, 10000, 20000, 40000}) {
+    Rng rng(trace_txns);
+    auto traces = wl.GenerateTrace(trace_txns, &rng);
+    auto schism = partition::SchismPartitioner::Build(traces, {.k = k});
+    auto chiller = partition::ChillerPartitioner::Build(
+        traces, {.k = k, .hot_threshold = 0.01});
+    std::printf("%-10zu %14zu %14zu %14.1f %14.1f\n", trace_txns,
+                schism.report.graph_edges, chiller.report.graph_edges,
+                schism.report.build_micros / 1000.0,
+                chiller.report.build_micros / 1000.0);
+    if (trace_txns == 40000) {
+      std::printf(
+          "\nlookup table entries: schism=%zu chiller=%zu (ratio %.1fx, "
+          "paper ~10x)\n",
+          schism.report.lookup_entries, chiller.report.lookup_entries,
+          static_cast<double>(schism.report.lookup_entries) /
+              static_cast<double>(
+                  std::max<size_t>(1, chiller.report.lookup_entries)));
+      std::printf(
+          "build time ratio (schism/chiller): %.1fx (paper: up to 5x)\n",
+          static_cast<double>(schism.report.build_micros) /
+              static_cast<double>(std::max<uint64_t>(
+                  1, chiller.report.build_micros)));
+      std::printf(
+          "graph edge ratio (schism/chiller): %.1fx (n(n-1)/2 vs n per "
+          "txn; ~4.5x at 10 items/basket)\n",
+          static_cast<double>(schism.report.graph_edges) /
+              static_cast<double>(
+                  std::max<size_t>(1, chiller.report.graph_edges)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chiller::bench
+
+int main() { chiller::bench::Main(); }

@@ -1,0 +1,74 @@
+// Runs the full contention-centric partitioning pipeline (Section 4) on
+// the Instacart-like grocery workload and compares the resulting layout
+// against Schism and hashing.
+//
+//   $ ./build/examples/instacart_partitioning
+#include <cstdio>
+
+#include "partition/chiller_partitioner.h"
+#include "partition/metrics.h"
+#include "partition/schism.h"
+#include "workload/instacart.h"
+
+using namespace chiller;
+namespace instacart = workload::instacart;
+
+int main() {
+  instacart::InstacartWorkload::Options wopts;
+  wopts.num_products = 20000;
+  wopts.num_customers = 50000;
+  instacart::InstacartWorkload workload(wopts);
+
+  // 1. Capture a workload trace (the sampling statistics service).
+  Rng rng(7);
+  auto traces = workload.GenerateTrace(10000, &rng);
+  partition::StatsCollector stats;
+  for (const auto& t : traces) stats.ObserveTrace(t);
+
+  // 2. Contention likelihoods (Section 4.1).
+  auto pcs = stats.ContentionLikelihoods(/*lock_window_txns=*/16.0);
+  std::printf("hottest records (Poisson conflict model):\n");
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  product %-8llu Pc = %.3f\n",
+                static_cast<unsigned long long>(pcs[i].first.key),
+                pcs[i].second);
+  }
+
+  // 3. Build all three layouts for 8 partitions.
+  const uint32_t k = 8;
+  partition::ChillerPartitioner::Options copts;
+  copts.k = k;
+  copts.hot_threshold = 0.01;
+  copts.metric = partition::LoadMetric::kAccessCount;
+  copts.fallback_fn = instacart::InstacartFallback;
+  auto chiller = partition::ChillerPartitioner::Build(traces, copts);
+  auto schism = partition::SchismPartitioner::Build(
+      traces, {.k = k, .fallback_fn = instacart::InstacartFallback});
+  partition::HashPartitioner hash(k, instacart::InstacartFallback);
+
+  // 4. Compare: the objective each scheme actually optimizes.
+  Rng eval_rng(8);
+  auto eval = workload.GenerateTrace(10000, &eval_rng);
+  std::printf("\n%-10s %16s %18s %14s %12s\n", "scheme", "distributed-ratio",
+              "residual-contention", "lookup-entries", "graph-edges");
+  auto report = [&](const char* name, const partition::RecordPartitioner& p,
+                    size_t entries, size_t edges) {
+    std::printf("%-10s %16.3f %18.1f %14zu %12zu\n", name,
+                partition::DistributedRatio(eval, p),
+                partition::ResidualContention(eval, p, stats, 16.0), entries,
+                edges);
+  };
+  report("hash", hash, 0, 0);
+  report("schism", *schism.partitioner, schism.report.lookup_entries,
+         schism.report.graph_edges);
+  report("chiller", *chiller.partitioner, chiller.report.lookup_entries,
+         chiller.report.graph_edges);
+
+  std::printf("\nchiller hot lookup entries: %zu of %zu records seen "
+              "(Section 4.4 optimization)\n",
+              chiller.report.hot_entries, schism.report.lookup_entries);
+  std::printf("note: chiller accepts MORE distributed transactions yet has "
+              "far LESS residual contention —\nthe paper's thesis in one "
+              "table.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Small-scale TPC-C comparison of the three execution models: 4 warehouses,
+// standard mix, by-warehouse partitioning (the Figure 9 setup in miniature).
+//
+//   $ ./build/examples/tpcc_demo
+#include <cstdio>
+#include <memory>
+
+#include "cc/cluster.h"
+#include "cc/driver.h"
+#include "cc/occ.h"
+#include "cc/twopl.h"
+#include "chiller/two_region.h"
+#include "workload/tpcc/tpcc_workload.h"
+
+using namespace chiller;
+namespace tpcc = workload::tpcc;
+
+int main() {
+  const uint32_t warehouses = 4;
+  const uint32_t concurrency = 4;
+
+  std::printf("TPC-C, %u warehouses (one engine each), %u concurrent txns "
+              "per warehouse\n\n",
+              warehouses, concurrency);
+  std::printf("%-10s %14s %12s %18s %18s\n", "protocol", "throughput",
+              "abort-rate", "NewOrder aborts", "Payment aborts");
+
+  for (const char* proto : {"2pl", "occ", "chiller"}) {
+    cc::ClusterConfig config;
+    config.topology = net::Topology{.num_nodes = warehouses,
+                                    .engines_per_node = 1,
+                                    .replication_degree = 2};
+    config.schema = tpcc::Schema();
+    cc::Cluster cluster(config);
+    tpcc::TpccPartitioner partitioner(warehouses);
+    tpcc::PopulateTpcc(
+        warehouses,
+        [&](const RecordId& rid, const storage::Record& rec) {
+          cluster.LoadRecord(rid, rec, partitioner);
+        },
+        [&](const RecordId& rid, const storage::Record& rec) {
+          cluster.LoadEverywhere(rid, rec);
+        });
+    tpcc::TpccWorkload workload(
+        tpcc::TpccWorkload::Options{.num_warehouses = warehouses});
+    cc::ReplicationManager repl(&cluster);
+    std::unique_ptr<cc::Protocol> protocol;
+    if (std::string_view(proto) == "2pl") {
+      protocol = std::make_unique<cc::TwoPhaseLocking>(&cluster, &partitioner,
+                                                       &repl);
+    } else if (std::string_view(proto) == "occ") {
+      protocol = std::make_unique<cc::Occ>(&cluster, &partitioner, &repl);
+    } else {
+      protocol = std::make_unique<core::ChillerProtocol>(&cluster,
+                                                         &partitioner, &repl);
+    }
+    cc::Driver driver(&cluster, protocol.get(), &workload, concurrency);
+    auto stats = driver.Run(3 * kMillisecond, 40 * kMillisecond);
+    driver.DrainAndStop();
+    std::printf("%-10s %11.1f K/s %12.3f %18.3f %18.3f\n", proto,
+                stats.Throughput() / 1000.0, stats.AbortRate(),
+                stats.classes[tpcc::kNewOrderTxn].AbortRate(),
+                stats.classes[tpcc::kPaymentTxn].AbortRate());
+  }
+
+  std::printf("\nexpected shape: Chiller commits the most and aborts the "
+              "least; Payment suffers\nmost under 2PL (exclusive warehouse "
+              "lock vs NewOrder's shared locks).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "cc/cluster.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace chiller::cc {
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  const net::Topology& topo = config_.topology;
+  CHILLER_CHECK(topo.num_nodes >= topo.replication_degree)
+      << "replicas must land on distinct nodes";
+  network_ = std::make_unique<net::Network>(&sim_, config_.network,
+                                            topo.num_nodes);
+  rdma_ = std::make_unique<net::RdmaFabric>(&sim_, network_.get(), topo);
+  rpc_ = std::make_unique<net::RpcLayer>(&sim_, network_.get(), topo);
+
+  const uint32_t n = topo.num_engines();
+  engines_.reserve(n);
+  primaries_.reserve(n);
+  replica_stores_.resize(n);
+  for (uint32_t e = 0; e < n; ++e) {
+    engines_.push_back(std::make_unique<Engine>(e, &sim_));
+    primaries_.push_back(
+        std::make_unique<storage::PartitionStore>(e, config_.schema));
+    engines_[e]->AttachPrimary(primaries_[e].get());
+  }
+  for (uint32_t p = 0; p < n; ++p) {
+    for (uint32_t i = 1; i < topo.replication_degree; ++i) {
+      auto store = std::make_unique<storage::PartitionStore>(p, config_.schema);
+      const EngineId host = topo.ReplicaEngine(p, i);
+      engines_[host]->AttachReplica(p, store.get());
+      replica_stores_[p].push_back(std::move(store));
+    }
+  }
+
+  std::vector<sim::CpuResource*> cpus;
+  cpus.reserve(n);
+  for (auto& eng : engines_) cpus.push_back(eng->cpu());
+  rpc_->BindEngines(std::move(cpus));
+}
+
+void Cluster::LoadRecord(const RecordId& rid, const storage::Record& record,
+                         const partition::RecordPartitioner& partitioner) {
+  const PartitionId p = partitioner.PartitionOf(rid);
+  CHILLER_CHECK(p < primaries_.size()) << "partition out of range";
+  CHILLER_CHECK(primaries_[p]->Insert(rid, record).ok())
+      << "duplicate load of " << rid.ToString();
+  for (auto& replica : replica_stores_[p]) {
+    CHILLER_CHECK(replica->Insert(rid, record).ok());
+  }
+}
+
+void Cluster::LoadEverywhere(const RecordId& rid,
+                             const storage::Record& record) {
+  for (auto& primary : primaries_) {
+    CHILLER_CHECK(primary->Insert(rid, record).ok());
+  }
+  for (auto& replicas : replica_stores_) {
+    for (auto& replica : replicas) {
+      CHILLER_CHECK(replica->Insert(rid, record).ok());
+    }
+  }
+}
+
+size_t Cluster::TotalPrimaryRecords() const {
+  size_t total = 0;
+  for (const auto& p : primaries_) total += p->num_records();
+  return total;
+}
+
+}  // namespace chiller::cc

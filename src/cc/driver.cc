@@ -1,0 +1,97 @@
+#include "cc/driver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cc/exec_common.h"
+#include "common/logging.h"
+
+namespace chiller::cc {
+
+Driver::Driver(Cluster* cluster, Protocol* protocol, WorkloadSource* source,
+               uint32_t concurrent_per_engine, uint64_t seed)
+    : cluster_(cluster),
+      protocol_(protocol),
+      source_(source),
+      concurrent_(concurrent_per_engine),
+      rng_(seed) {
+  CHILLER_CHECK(concurrent_ >= 1);
+  for (uint32_t c = 0; c < source_->NumClasses(); ++c) {
+    stats_.EnsureClass(c, source_->ClassName(c));
+  }
+}
+
+void Driver::StartSlot(EngineId e) {
+  std::shared_ptr<txn::Transaction> t = source_->Next(e, &rng_);
+  Launch(e, std::move(t));
+}
+
+void Driver::Launch(EngineId e, std::shared_ptr<txn::Transaction> t) {
+  t->id = next_id_++;
+  t->home = e;
+  t->outcome = txn::Outcome::kPending;
+  t->start_time = cluster_->sim()->now();
+  if (t->accesses.empty()) t->InitAccesses();
+  protocol_->Execute(t, [this, e, t]() { OnDone(e, t); });
+}
+
+void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
+  if (measuring_) {
+    stats_.EnsureClass(t->txn_class, source_->ClassName(t->txn_class));
+    ClassStats& cs = stats_.classes[t->txn_class];
+    switch (t->outcome) {
+      case txn::Outcome::kCommitted:
+        ++cs.commits;
+        if (exec::IsDistributed(*t)) ++cs.distributed_commits;
+        cs.latency.Add(t->end_time - t->start_time);
+        break;
+      case txn::Outcome::kAbortConflict:
+        ++cs.conflict_aborts;
+        break;
+      case txn::Outcome::kAbortUser:
+        ++cs.user_aborts;
+        break;
+      case txn::Outcome::kPending:
+        CHILLER_CHECK(false) << "protocol finished with pending outcome";
+    }
+  }
+
+  if (stopped_) return;
+  if (t->outcome == txn::Outcome::kAbortConflict) {
+    // Retry the same logical transaction after a jittered backoff that
+    // grows with consecutive aborts (NO_WAIT livelock avoidance without
+    // letting retries saturate a contended record).
+    const ExecCosts& costs = cluster_->costs();
+    const uint32_t shift = std::min<uint32_t>(t->attempt, 5);
+    const SimTime backoff =
+        (costs.retry_backoff_fixed << shift) +
+        rng_.Uniform(costs.retry_backoff_jitter << shift);
+    std::shared_ptr<txn::Transaction> retry = source_->Rebuild(*t);
+    retry->attempt = t->attempt + 1;
+    cluster_->sim()->Schedule(backoff, [this, e, retry]() {
+      Launch(e, retry);
+    });
+    return;
+  }
+  StartSlot(e);
+}
+
+void Driver::DrainAndStop() {
+  stopped_ = true;
+  cluster_->sim()->Run();
+}
+
+RunStats Driver::Run(SimTime warmup, SimTime measure) {
+  for (EngineId e = 0; e < cluster_->num_engines(); ++e) {
+    for (uint32_t s = 0; s < concurrent_; ++s) StartSlot(e);
+  }
+  cluster_->sim()->RunUntil(warmup);
+  for (auto& cs : stats_.classes) cs = ClassStats{.name = cs.name};
+  measuring_ = true;
+  cluster_->sim()->RunUntil(warmup + measure);
+  measuring_ = false;
+  stats_.window = measure;
+  return stats_;
+}
+
+}  // namespace chiller::cc

@@ -1,0 +1,72 @@
+// Closed-loop workload driver: transaction slots, retries, measurement.
+#ifndef CHILLER_CC_DRIVER_H_
+#define CHILLER_CC_DRIVER_H_
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+#include "common/random.h"
+#include "txn/transaction.h"
+
+namespace chiller::cc {
+
+/// Supplies transactions for the driver. Implementations live in
+/// src/workload (TPC-C, Instacart-like, flight booking).
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  /// Builds a fresh transaction homed at partition `home`.
+  virtual std::unique_ptr<txn::Transaction> Next(PartitionId home,
+                                                 Rng* rng) = 0;
+
+  /// Rebuilds the same logical transaction (same class, same parameters)
+  /// for a retry after a conflict abort.
+  virtual std::unique_ptr<txn::Transaction> Rebuild(
+      const txn::Transaction& t) = 0;
+
+  virtual uint32_t NumClasses() const = 0;
+  virtual std::string ClassName(uint32_t cls) const = 0;
+};
+
+/// Drives a protocol on a cluster, closed-loop: each engine keeps
+/// `concurrent_per_engine` transactions open at all times (the paper's
+/// "# concurrent txns per warehouse" knob, Figure 9). Conflict-aborted
+/// transactions retry with a small jittered backoff; committed and
+/// user-aborted slots draw a fresh transaction.
+class Driver {
+ public:
+  Driver(Cluster* cluster, Protocol* protocol, WorkloadSource* source,
+         uint32_t concurrent_per_engine, uint64_t seed = 1);
+
+  /// Runs `warmup` of simulated time, resets counters, then measures for
+  /// `measure`. Returns the stats of the measurement window.
+  RunStats Run(SimTime warmup, SimTime measure);
+
+  /// Stops refilling slots and runs the simulator until every in-flight
+  /// transaction settles (all locks released, replication quiesced).
+  /// Integration tests call this before checking storage invariants.
+  void DrainAndStop();
+
+  const RunStats& stats() const { return stats_; }
+
+ private:
+  void StartSlot(EngineId e);
+  void Launch(EngineId e, std::shared_ptr<txn::Transaction> t);
+  void OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t);
+
+  Cluster* cluster_;
+  Protocol* protocol_;
+  WorkloadSource* source_;
+  uint32_t concurrent_;
+  Rng rng_;
+  RunStats stats_;
+  bool measuring_ = false;
+  bool stopped_ = false;
+  TxnId next_id_ = 1;
+};
+
+}  // namespace chiller::cc
+
+#endif  // CHILLER_CC_DRIVER_H_

@@ -1,0 +1,57 @@
+// A transaction execution engine: one pinned core owning one partition.
+#ifndef CHILLER_CC_ENGINE_H_
+#define CHILLER_CC_ENGINE_H_
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "sim/cpu_resource.h"
+#include "storage/partition_store.h"
+
+namespace chiller::cc {
+
+/// Pairs a CPU with the storage it can touch without the network: the
+/// primary copy of its own partition plus replica copies of remote
+/// partitions hosted on its node (paper Section 6: compute co-located with
+/// storage, remote storage reached via RDMA).
+class Engine {
+ public:
+  Engine(EngineId id, sim::Simulator* sim) : id_(id), cpu_(sim) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  EngineId id() const { return id_; }
+  sim::CpuResource* cpu() { return &cpu_; }
+
+  void AttachPrimary(storage::PartitionStore* store) { primary_ = store; }
+  void AttachReplica(PartitionId p, storage::PartitionStore* store) {
+    replicas_[p] = store;
+  }
+
+  /// The primary copy of this engine's own partition.
+  storage::PartitionStore* primary() const {
+    CHILLER_CHECK(primary_ != nullptr);
+    return primary_;
+  }
+
+  /// The replica copy of partition `p` hosted by this engine (never null;
+  /// asserts the replica placement actually routed `p` here).
+  storage::PartitionStore* replica(PartitionId p) const {
+    auto it = replicas_.find(p);
+    CHILLER_CHECK(it != replicas_.end())
+        << "engine " << id_ << " hosts no replica of partition " << p;
+    return it->second;
+  }
+
+ private:
+  EngineId id_;
+  sim::CpuResource cpu_;
+  storage::PartitionStore* primary_ = nullptr;
+  std::unordered_map<PartitionId, storage::PartitionStore*> replicas_;
+};
+
+}  // namespace chiller::cc
+
+#endif  // CHILLER_CC_ENGINE_H_

@@ -1,0 +1,162 @@
+#include "cc/occ.h"
+
+#include <utility>
+#include <vector>
+
+#include "cc/exec_common.h"
+#include "common/logging.h"
+
+namespace chiller::cc {
+
+namespace {
+
+using txn::OpType;
+using txn::Outcome;
+using txn::Transaction;
+
+class OccRun : public std::enable_shared_from_this<OccRun> {
+ public:
+  OccRun(Protocol* proto, std::shared_ptr<Transaction> t,
+         std::function<void()> done)
+      : deps_{proto->cluster(), proto->partitioner()},
+        repl_(proto->replication()),
+        t_(std::move(t)),
+        done_(std::move(done)) {
+    eng_ = deps_.cluster->engine(
+        deps_.cluster->topology().EngineOfPartition(t_->home));
+  }
+
+  void Start() {
+    auto self = shared_from_this();
+    eng_->cpu()->Submit(deps_.cluster->costs().txn_setup, [self]() {
+      self->t_->ResolveReadyKeys();
+      self->ExecNext(0);
+    });
+  }
+
+ private:
+  void ExecNext(size_t i) {
+    if (i == t_->ops.size()) {
+      CollectSets();
+      ValidateWriteNext(0);
+      return;
+    }
+    auto self = shared_from_this();
+    eng_->cpu()->Submit(deps_.cluster->costs().op_logic, [self, i]() {
+      Transaction& t = *self->t_;
+      const txn::Operation& op = t.ops[i];
+      if (t.IsSkipped(i)) {
+        self->ExecNext(i + 1);
+        return;
+      }
+      if (op.guard && !op.guard(t.ctx)) {
+        // No locks are held during OCC execution; aborting is free.
+        self->Done(Outcome::kAbortUser);
+        return;
+      }
+      if (!t.accesses[i].key_resolved) {
+        CHILLER_CHECK(t.KeyReady(i));
+        t.ResolveKey(i);
+      }
+      t.accesses[i].partition = exec::ResolvePartition(self->deps_, t, i);
+      exec::FetchVersioned(self->deps_, self->t_.get(), i, self->eng_,
+                           [self, i]() { self->ExecNext(i + 1); });
+    });
+  }
+
+  /// Unique (non-alias) accesses split into write and read-only sets.
+  /// Ops skipped by a dead conditional group never resolved a key and are
+  /// not part of the footprint; missing probes stay in the read set — their
+  /// bucket version check ensures the record still does not exist.
+  void CollectSets() {
+    for (size_t i = 0; i < t_->accesses.size(); ++i) {
+      const txn::Access& acc = t_->accesses[i];
+      if (acc.alias_of >= 0 || !acc.key_resolved || !acc.fetched) continue;
+      (acc.wrote ? write_set_ : read_set_).push_back(i);
+    }
+  }
+
+  void ValidateWriteNext(size_t k) {
+    if (k == write_set_.size()) {
+      ValidateReadNext(0);
+      return;
+    }
+    auto self = shared_from_this();
+    exec::ValidateLockWrite(deps_, t_.get(), write_set_[k], eng_,
+                            [self, k](bool ok) {
+                              if (!ok) {
+                                self->AbortValidation();
+                                return;
+                              }
+                              self->ValidateWriteNext(k + 1);
+                            });
+  }
+
+  void ValidateReadNext(size_t k) {
+    if (k == read_set_.size()) {
+      BeginCommit();
+      return;
+    }
+    auto self = shared_from_this();
+    exec::ValidateRead(deps_, t_.get(), read_set_[k], eng_,
+                       [self, k](bool ok) {
+                         if (!ok) {
+                           self->AbortValidation();
+                           return;
+                         }
+                         self->ValidateReadNext(k + 1);
+                       });
+  }
+
+  void BeginCommit() {
+    auto writes = exec::CollectWrites(*t_, exec::HeldIndices(*t_));
+    auto self = shared_from_this();
+    if (writes.empty()) {
+      ApplyPhase();
+      return;
+    }
+    auto pending = std::make_shared<size_t>(writes.size());
+    for (auto& [p, updates] : writes) {
+      repl_->Replicate(eng_->id(), p, std::move(updates), eng_->id(),
+                       [self, pending]() {
+                         if (--*pending == 0) self->ApplyPhase();
+                       });
+    }
+  }
+
+  void ApplyPhase() {
+    auto self = shared_from_this();
+    exec::ApplyAndUnlock(deps_, t_.get(), exec::HeldIndices(*t_), eng_,
+                         [self]() { self->Done(Outcome::kCommitted); });
+  }
+
+  void AbortValidation() {
+    // All the execution-phase work — including remote round trips — is now
+    // wasted; this is exactly the contention pathology of Figure 9.
+    auto self = shared_from_this();
+    exec::Release(deps_, t_.get(), exec::HeldIndices(*t_), eng_,
+                  [self]() { self->Done(Outcome::kAbortConflict); });
+  }
+
+  void Done(Outcome outcome) {
+    t_->outcome = outcome;
+    t_->end_time = deps_.cluster->sim()->now();
+    done_();
+  }
+
+  exec::Deps deps_;
+  ReplicationManager* repl_;
+  std::shared_ptr<Transaction> t_;
+  std::function<void()> done_;
+  Engine* eng_;
+  std::vector<size_t> write_set_;
+  std::vector<size_t> read_set_;
+};
+
+}  // namespace
+
+void Occ::Execute(std::shared_ptr<Transaction> t, std::function<void()> done) {
+  std::make_shared<OccRun>(this, std::move(t), std::move(done))->Start();
+}
+
+}  // namespace chiller::cc

@@ -1,0 +1,123 @@
+// Concurrency-control protocol interface and run statistics.
+#ifndef CHILLER_CC_PROTOCOL_H_
+#define CHILLER_CC_PROTOCOL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/cluster.h"
+#include "cc/replication.h"
+#include "common/histogram.h"
+#include "partition/lookup_table.h"
+#include "txn/transaction.h"
+
+namespace chiller::cc {
+
+/// Counters for one transaction class (e.g. TPC-C NewOrder).
+struct ClassStats {
+  std::string name;
+  uint64_t commits = 0;
+  uint64_t conflict_aborts = 0;
+  uint64_t user_aborts = 0;
+  uint64_t distributed_commits = 0;
+  Histogram latency;  ///< committed-attempt latency, ns
+
+  uint64_t attempts() const { return commits + conflict_aborts + user_aborts; }
+  /// The paper's abort-rate metric: aborted attempts / all attempts
+  /// (user aborts are intrinsic to the workload and excluded).
+  double AbortRate() const {
+    const uint64_t a = attempts();
+    return a == 0 ? 0.0
+                  : static_cast<double>(conflict_aborts) /
+                        static_cast<double>(a);
+  }
+};
+
+/// Aggregated statistics for a measurement window.
+struct RunStats {
+  std::vector<ClassStats> classes;
+  SimTime window = 0;  ///< measurement window length, ns
+
+  void EnsureClass(uint32_t cls, const std::string& name) {
+    if (classes.size() <= cls) classes.resize(cls + 1);
+    if (classes[cls].name.empty()) classes[cls].name = name;
+  }
+
+  uint64_t TotalCommits() const {
+    uint64_t c = 0;
+    for (const auto& s : classes) c += s.commits;
+    return c;
+  }
+  uint64_t TotalConflictAborts() const {
+    uint64_t c = 0;
+    for (const auto& s : classes) c += s.conflict_aborts;
+    return c;
+  }
+  uint64_t TotalAttempts() const {
+    uint64_t c = 0;
+    for (const auto& s : classes) c += s.attempts();
+    return c;
+  }
+  uint64_t DistributedCommits() const {
+    uint64_t c = 0;
+    for (const auto& s : classes) c += s.distributed_commits;
+    return c;
+  }
+  double AbortRate() const {
+    const uint64_t a = TotalAttempts();
+    return a == 0 ? 0.0
+                  : static_cast<double>(TotalConflictAborts()) /
+                        static_cast<double>(a);
+  }
+  double DistributedRatio() const {
+    const uint64_t c = TotalCommits();
+    return c == 0 ? 0.0
+                  : static_cast<double>(DistributedCommits()) /
+                        static_cast<double>(c);
+  }
+  /// Committed transactions per simulated second.
+  double Throughput() const {
+    return window == 0 ? 0.0
+                       : static_cast<double>(TotalCommits()) /
+                             (static_cast<double>(window) / kSecond);
+  }
+};
+
+/// A distributed transaction execution protocol. Implementations: 2PL
+/// NO_WAIT + 2PC (baseline), MaaT-inspired OCC (baseline), and Chiller's
+/// two-region execution (src/chiller).
+class Protocol {
+ public:
+  Protocol(Cluster* cluster, const partition::RecordPartitioner* partitioner,
+           ReplicationManager* replication)
+      : cluster_(cluster),
+        partitioner_(partitioner),
+        replication_(replication) {}
+  virtual ~Protocol() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Executes one transaction attempt from its home engine. `done` fires
+  /// exactly once, after every effect of the attempt (including lock
+  /// releases and replication) has been issued; the transaction's outcome
+  /// field tells the caller whether to retry.
+  virtual void Execute(std::shared_ptr<txn::Transaction> t,
+                       std::function<void()> done) = 0;
+
+  Cluster* cluster() { return cluster_; }
+  const partition::RecordPartitioner* partitioner() const {
+    return partitioner_;
+  }
+  ReplicationManager* replication() { return replication_; }
+
+ protected:
+  Cluster* cluster_;
+  const partition::RecordPartitioner* partitioner_;
+  ReplicationManager* replication_;
+};
+
+}  // namespace chiller::cc
+
+#endif  // CHILLER_CC_PROTOCOL_H_

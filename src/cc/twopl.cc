@@ -1,0 +1,136 @@
+#include "cc/twopl.h"
+
+#include <utility>
+
+#include "cc/exec_common.h"
+#include "common/logging.h"
+
+namespace chiller::cc {
+
+namespace {
+
+using txn::Outcome;
+using txn::Transaction;
+
+/// One transaction attempt under plain 2PL + 2PC. Lives in shared_ptr
+/// closures until the attempt settles.
+class TwoPlRun : public std::enable_shared_from_this<TwoPlRun> {
+ public:
+  TwoPlRun(Protocol* proto, std::shared_ptr<Transaction> t,
+           std::function<void()> done)
+      : deps_{proto->cluster(), proto->partitioner()},
+        repl_(proto->replication()),
+        t_(std::move(t)),
+        done_(std::move(done)) {
+    eng_ = deps_.cluster->engine(
+        deps_.cluster->topology().EngineOfPartition(t_->home));
+  }
+
+  void Start() {
+    auto self = shared_from_this();
+    eng_->cpu()->Submit(deps_.cluster->costs().txn_setup, [self]() {
+      self->t_->ResolveReadyKeys();
+      self->ExecNext(0);
+    });
+  }
+
+ private:
+  void ExecNext(size_t i) {
+    if (i == t_->ops.size()) {
+      BeginCommit();
+      return;
+    }
+    auto self = shared_from_this();
+    eng_->cpu()->Submit(deps_.cluster->costs().op_logic, [self, i]() {
+      Transaction& t = *self->t_;
+      const txn::Operation& op = t.ops[i];
+      // Conditional groups: a missing guard record disables later ops.
+      if (t.IsSkipped(i)) {
+        self->ExecNext(i + 1);
+        return;
+      }
+      // Value constraints run at their program position, after their
+      // dependencies' reads.
+      if (op.guard && !op.guard(t.ctx)) {
+        self->Finish(Outcome::kAbortUser);
+        return;
+      }
+      if (!t.accesses[i].key_resolved) {
+        CHILLER_CHECK(t.KeyReady(i)) << "pk-dep not satisfied for op " << i;
+        t.ResolveKey(i);
+      }
+      t.accesses[i].partition = exec::ResolvePartition(self->deps_, t, i);
+      exec::LockAndFetch(self->deps_, self->t_.get(), i, self->eng_,
+                         /*apply_inline=*/true, [self, i](bool ok) {
+                           if (!ok) {
+                             self->Finish(Outcome::kAbortConflict);
+                             return;
+                           }
+                           self->ExecNext(i + 1);
+                         });
+    });
+  }
+
+  void BeginCommit() {
+    // Replicate the write set before making anything visible ("changes to
+    // the replicas have to be applied before committing", Section 5).
+    auto held = exec::HeldIndices(*t_);
+    auto writes = exec::CollectWrites(*t_, held);
+    auto self = shared_from_this();
+    if (writes.empty()) {
+      ApplyPhase();
+      return;
+    }
+    auto pending = std::make_shared<size_t>(writes.size());
+    for (auto& [p, updates] : writes) {
+      repl_->Replicate(eng_->id(), p, std::move(updates), eng_->id(),
+                       [self, pending]() {
+                         if (--*pending == 0) self->ApplyPhase();
+                       });
+    }
+  }
+
+  void ApplyPhase() {
+    auto self = shared_from_this();
+    exec::ApplyAndUnlock(deps_, t_.get(), exec::HeldIndices(*t_), eng_,
+                         [self]() { self->Finish(Outcome::kCommitted); });
+  }
+
+  void Finish(Outcome outcome) {
+    if (outcome == Outcome::kCommitted) {
+      Done(outcome);
+      return;
+    }
+    // Abort: nothing was applied to any primary, so releasing locks is the
+    // entire rollback.
+    auto self = shared_from_this();
+    exec::Release(deps_, t_.get(), exec::HeldIndices(*t_), eng_,
+                  [self, outcome]() { self->Done(outcome); });
+  }
+
+  void Done(Outcome outcome) {
+    t_->outcome = outcome;
+    t_->end_time = deps_.cluster->sim()->now();
+    done_();
+  }
+
+  exec::Deps deps_;
+  ReplicationManager* repl_;
+  std::shared_ptr<Transaction> t_;
+  std::function<void()> done_;
+  Engine* eng_;
+};
+
+}  // namespace
+
+void TwoPhaseLocking::Run(Protocol* proto, std::shared_ptr<Transaction> t,
+                          std::function<void()> done) {
+  std::make_shared<TwoPlRun>(proto, std::move(t), std::move(done))->Start();
+}
+
+void TwoPhaseLocking::Execute(std::shared_ptr<Transaction> t,
+                              std::function<void()> done) {
+  Run(this, std::move(t), std::move(done));
+}
+
+}  // namespace chiller::cc

@@ -1,0 +1,349 @@
+#include "chiller/two_region.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cc/exec_common.h"
+#include "cc/twopl.h"
+#include "common/logging.h"
+#include "txn/dependency_graph.h"
+
+namespace chiller::core {
+
+namespace exec = ::chiller::cc::exec;
+
+namespace {
+
+using cc::Engine;
+using cc::ReplUpdate;
+using txn::Outcome;
+using txn::Transaction;
+using txn::TwoRegionPlan;
+
+/// Result of an inner-region execution at the inner host.
+struct InnerResult {
+  Outcome status = Outcome::kPending;
+  bool had_writes = false;
+};
+
+}  // namespace
+
+/// One two-region transaction attempt (Section 3.3 steps 3-5).
+class ChillerRun : public std::enable_shared_from_this<ChillerRun> {
+ public:
+  ChillerRun(ChillerProtocol* proto, std::shared_ptr<Transaction> t,
+             TwoRegionPlan plan, std::function<void()> done)
+      : proto_(proto),
+        deps_{proto->cluster(), proto->partitioner()},
+        t_(std::move(t)),
+        plan_(std::move(plan)),
+        done_(std::move(done)) {
+    coord_ = deps_.cluster->engine(
+        deps_.cluster->topology().EngineOfPartition(t_->home));
+    inner_eng_ = deps_.cluster->engine(
+        deps_.cluster->topology().EngineOfPartition(plan_.inner_host));
+  }
+
+  /// Step 3: read and lock records in the outer region.
+  void Start() { OuterNext(0); }
+
+ private:
+  bool IsDeferred(int op_index) const {
+    for (int d : plan_.deferred_apply) {
+      if (d == op_index) return true;
+    }
+    return false;
+  }
+
+  void OuterNext(size_t k) {
+    if (k == plan_.outer_ops.size()) {
+      DispatchInner();
+      return;
+    }
+    const size_t i = static_cast<size_t>(plan_.outer_ops[k]);
+    auto self = shared_from_this();
+    coord_->cpu()->Submit(deps_.cluster->costs().op_logic, [self, k, i]() {
+      Transaction& t = *self->t_;
+      const txn::Operation& op = t.ops[i];
+      if (t.IsSkipped(i)) {
+        self->OuterNext(k + 1);
+        return;
+      }
+      // Outer guards depend only on outer reads (planner invariant), so
+      // every possible user abort happens before the inner region runs.
+      if (op.guard && !op.guard(t.ctx)) {
+        self->FinishOuterAbort(Outcome::kAbortUser);
+        return;
+      }
+      if (!t.accesses[i].key_resolved) {
+        CHILLER_CHECK(t.KeyReady(i));
+        t.ResolveKey(i);
+        t.accesses[i].partition = exec::ResolvePartition(self->deps_, t, i);
+      }
+      const bool deferred = self->IsDeferred(static_cast<int>(i));
+      exec::LockAndFetch(self->deps_, self->t_.get(), i, self->coord_,
+                         /*apply_inline=*/!deferred, [self, k](bool ok) {
+                           if (!ok) {
+                             ++self->proto_->counters_.outer_aborts;
+                             self->FinishOuterAbort(Outcome::kAbortConflict);
+                             return;
+                           }
+                           self->OuterNext(k + 1);
+                         });
+    });
+  }
+
+  /// Step 4: delegate the inner region to its host. After this point the
+  /// coordinator can no longer abort the transaction — the decision belongs
+  /// to the inner host alone.
+  void DispatchInner() {
+    auto self = shared_from_this();
+    auto result = std::make_shared<InnerResult>();
+    if (plan_.inner_host == t_->home) {
+      ++proto_->counters_.inner_local;
+      ExecuteInner(result, [self, result]() { self->OnInnerReply(result); });
+      return;
+    }
+    // RPC with all information needed to execute and commit (txn id,
+    // operation ids, input parameters — modeled as bytes).
+    const size_t req_bytes = 64 + 24 * plan_.inner_ops.size() +
+                             8 * t_->ctx.params.size();
+    deps_.cluster->rpc()->Send(
+        coord_->id(), inner_eng_->id(), req_bytes,
+        deps_.cluster->costs().inner_dispatch, [self, result]() {
+          self->ExecuteInner(result, [self, result]() {
+            // Reply to the coordinator with the outcome and result values.
+            self->deps_.cluster->rpc()->Send(
+                self->inner_eng_->id(), self->coord_->id(), 64, 0,
+                [self, result]() { self->OnInnerReply(result); });
+          });
+        });
+  }
+
+  /// Runs at the inner host: executes all inner ops locally, commits
+  /// unilaterally, and fires the replica stream (without waiting — the
+  /// replicas ack the coordinator; Figure 6).
+  void ExecuteInner(std::shared_ptr<InnerResult> result,
+                    std::function<void()> reply) {
+    InnerOpNext(0, result, std::move(reply));
+  }
+
+  void InnerOpNext(size_t k, std::shared_ptr<InnerResult> result,
+                   std::function<void()> reply) {
+    if (k == plan_.inner_ops.size()) {
+      InnerCommit(result, std::move(reply));
+      return;
+    }
+    const size_t i = static_cast<size_t>(plan_.inner_ops[k]);
+    auto self = shared_from_this();
+    inner_eng_->cpu()->Submit(
+        deps_.cluster->costs().op_logic,
+        [self, k, i, result, reply = std::move(reply)]() mutable {
+          Transaction& t = *self->t_;
+          const txn::Operation& op = t.ops[i];
+          if (t.IsSkipped(i)) {
+            self->InnerOpNext(k + 1, result, std::move(reply));
+            return;
+          }
+          if (op.guard && !op.guard(t.ctx)) {
+            self->InnerAbort(Outcome::kAbortUser, result, std::move(reply));
+            return;
+          }
+          if (!t.accesses[i].key_resolved) {
+            CHILLER_CHECK(t.KeyReady(i));
+            t.ResolveKey(i);
+            t.accesses[i].partition = exec::ResolvePartition(self->deps_, t, i);
+          }
+          // The dependency graph guarantees every inner record is local to
+          // the host (Section 3.3 step 4).
+          CHILLER_CHECK(t.accesses[i].partition == self->plan_.inner_host)
+              << "inner op " << i << " not on inner host";
+          exec::LockAndFetch(
+              self->deps_, self->t_.get(), i, self->inner_eng_,
+              /*apply_inline=*/true,
+              [self, k, result, reply = std::move(reply)](bool ok) mutable {
+                if (!ok) {
+                  self->InnerAbort(Outcome::kAbortConflict, result,
+                                   std::move(reply));
+                  return;
+                }
+                self->InnerOpNext(k + 1, result, std::move(reply));
+              });
+        });
+  }
+
+  std::vector<size_t> InnerHeld() const {
+    std::vector<size_t> held;
+    for (int i : plan_.inner_ops) {
+      if (t_->accesses[static_cast<size_t>(i)].lock_held) {
+        held.push_back(static_cast<size_t>(i));
+      }
+    }
+    return held;
+  }
+
+  /// "The inner region commits upon completion" — apply, unlock, stream to
+  /// replicas, reply. All local to the host; the hot records' contention
+  /// span ends here.
+  void InnerCommit(std::shared_ptr<InnerResult> result,
+                   std::function<void()> reply) {
+    auto self = shared_from_this();
+    const auto held = InnerHeld();
+    auto writes = exec::CollectWrites(*t_, held);
+    CHILLER_CHECK(writes.size() <= 1) << "inner writes span partitions";
+    result->status = Outcome::kCommitted;
+    result->had_writes = !writes.empty();
+    exec::ApplyAndUnlock(
+        deps_, t_.get(), held, inner_eng_,
+        [self, result, writes = std::move(writes),
+         reply = std::move(reply)]() mutable {
+          if (result->had_writes) {
+            // Fire-and-continue: the inner host does NOT wait for acks.
+            self->proto_->replication()->Replicate(
+                self->inner_eng_->id(), self->plan_.inner_host,
+                std::move(writes.begin()->second), self->coord_->id(),
+                [self]() { self->OnInnerReplicaAcks(); });
+          }
+          reply();
+        });
+  }
+
+  void InnerAbort(Outcome why, std::shared_ptr<InnerResult> result,
+                  std::function<void()> reply) {
+    ++proto_->counters_.inner_aborts;
+    result->status = why;
+    auto self = shared_from_this();
+    // Roll back is lock release only: primaries were untouched.
+    exec::Release(deps_, t_.get(), InnerHeld(), inner_eng_,
+                  [reply = std::move(reply)]() { reply(); });
+  }
+
+  // ---- coordinator side, after the inner region ----
+
+  void OnInnerReplicaAcks() {
+    inner_replicated_ = true;
+    MaybeFinishInnerWait();
+  }
+
+  void OnInnerReply(std::shared_ptr<InnerResult> result) {
+    inner_result_ = *result;
+    inner_replied_ = true;
+    MaybeFinishInnerWait();
+  }
+
+  void MaybeFinishInnerWait() {
+    if (!inner_replied_ || inner_wait_done_) return;
+    if (inner_result_.status != Outcome::kCommitted) {
+      inner_wait_done_ = true;
+      // Inner aborted: unroll the outer region.
+      FinishOuterAbort(inner_result_.status);
+      return;
+    }
+    const bool need_acks =
+        inner_result_.had_writes &&
+        deps_.cluster->topology().num_replicas() > 0;
+    if (need_acks && !inner_replicated_) return;
+    inner_wait_done_ = true;
+    OuterPhase2();
+  }
+
+  /// Step 5: the transaction is already committed; apply deferred writes,
+  /// replicate the outer write set, make outer changes visible.
+  void OuterPhase2() {
+    auto self = shared_from_this();
+    const SimTime cost = deps_.cluster->costs().op_logic *
+                         std::max<size_t>(1, plan_.deferred_apply.size());
+    coord_->cpu()->Submit(cost, [self]() {
+      exec::ApplyDeferred(self->t_.get(), self->plan_.deferred_apply);
+      const auto held = exec::HeldIndices(*self->t_);
+      auto writes = exec::CollectWrites(*self->t_, held);
+      if (writes.empty()) {
+        self->OuterApply();
+        return;
+      }
+      auto pending = std::make_shared<size_t>(writes.size());
+      for (auto& [p, updates] : writes) {
+        self->proto_->replication()->Replicate(
+            self->coord_->id(), p, std::move(updates), self->coord_->id(),
+            [self, pending]() {
+              if (--*pending == 0) self->OuterApply();
+            });
+      }
+    });
+  }
+
+  void OuterApply() {
+    auto self = shared_from_this();
+    exec::ApplyAndUnlock(deps_, t_.get(), exec::HeldIndices(*t_), coord_,
+                         [self]() { self->Done(Outcome::kCommitted); });
+  }
+
+  void FinishOuterAbort(Outcome outcome) {
+    CHILLER_CHECK(outcome != Outcome::kCommitted);
+    auto self = shared_from_this();
+    exec::Release(deps_, t_.get(), exec::HeldIndices(*t_), coord_,
+                  [self, outcome]() { self->Done(outcome); });
+  }
+
+  void Done(Outcome outcome) {
+    t_->outcome = outcome;
+    t_->end_time = deps_.cluster->sim()->now();
+    done_();
+  }
+
+  ChillerProtocol* proto_;
+  exec::Deps deps_;
+  std::shared_ptr<Transaction> t_;
+  TwoRegionPlan plan_;
+  std::function<void()> done_;
+  Engine* coord_;
+  Engine* inner_eng_;
+
+  bool inner_replied_ = false;
+  bool inner_replicated_ = false;
+  bool inner_wait_done_ = false;
+  InnerResult inner_result_;
+};
+
+void ChillerProtocol::Execute(std::shared_ptr<Transaction> t,
+                              std::function<void()> done) {
+  auto self = this;
+  Engine* coord = cluster_->engine(
+      cluster_->topology().EngineOfPartition(t->home));
+  coord->cpu()->Submit(cluster_->costs().txn_setup, [self, t = std::move(t),
+                                                     done = std::move(
+                                                         done)]() mutable {
+    t->ResolveReadyKeys();
+    exec::Deps deps{self->cluster_, self->partitioner_};
+    for (size_t i = 0; i < t->accesses.size(); ++i) {
+      if (t->accesses[i].key_resolved) {
+        t->accesses[i].partition = exec::ResolvePartition(deps, *t, i);
+      }
+    }
+    TwoRegionPlan plan;
+    if (self->enable_two_region_) {
+      plan = txn::DependencyAnalysis::Plan(
+          *t,
+          [self](const RecordId& rid) {
+            return self->partitioner_->IsHot(rid);
+          },
+          [self](const RecordId& rid) {
+            return self->partitioner_->PartitionOf(rid);
+          });
+    } else {
+      plan.fallback_reason = "two-region execution disabled";
+    }
+    if (!plan.two_region) {
+      ++self->counters_.fallback_txns;
+      cc::TwoPhaseLocking::Run(self, std::move(t), std::move(done));
+      return;
+    }
+    ++self->counters_.two_region_txns;
+    std::make_shared<ChillerRun>(self, std::move(t), std::move(plan),
+                                 std::move(done))
+        ->Start();
+  });
+}
+
+}  // namespace chiller::core

@@ -1,0 +1,88 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace chiller {
+
+Histogram::Histogram() { Reset(); }
+
+void Histogram::Reset() {
+  buckets_.assign(64 << kSubBucketBits, 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value < (1u << kSubBucketBits)) return static_cast<size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBucketBits;
+  const uint64_t sub = (value >> shift) & ((1u << kSubBucketBits) - 1);
+  return static_cast<size_t>((msb - kSubBucketBits + 1))
+             * (1u << kSubBucketBits) +
+         static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t bucket) {
+  const size_t per = 1u << kSubBucketBits;
+  if (bucket < per) return bucket;
+  const size_t octave = bucket / per;  // >= 1
+  const size_t sub = bucket % per;
+  const int shift = static_cast<int>(octave) - 1;
+  return ((per + sub + 1) << shift) - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  const size_t b = BucketFor(value);
+  CHILLER_DCHECK(b < buckets_.size());
+  ++buckets_[b];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  CHILLER_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+uint64_t Histogram::max() const { return max_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return std::min<uint64_t>(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(50)
+     << " p99=" << Percentile(99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace chiller

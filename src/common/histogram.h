@@ -1,0 +1,65 @@
+// Latency/value histogram with log-scale buckets (HdrHistogram-lite).
+#ifndef CHILLER_COMMON_HISTOGRAM_H_
+#define CHILLER_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chiller {
+
+/// Records non-negative 64-bit samples and answers mean / percentile queries
+/// with bounded relative error (~3%). Used for transaction latency stats.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const;
+  uint64_t max() const;
+  double Mean() const;
+  /// p in [0, 100].
+  uint64_t Percentile(double p) const;
+
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static size_t BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+};
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  uint64_t count() const { return n_; }
+  double Mean() const { return mean_; }
+  double Variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace chiller
+
+#endif  // CHILLER_COMMON_HISTOGRAM_H_

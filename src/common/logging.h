@@ -1,0 +1,69 @@
+// Minimal logging and checked assertions (no external dependencies).
+#ifndef CHILLER_COMMON_LOGGING_H_
+#define CHILLER_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace chiller {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+/// Used only via the CHILLER_CHECK macros below.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lower-precedence-than-<< adapter so the ternary in the macro has type
+/// void on both branches (the glog voidify trick).
+struct Voidify {
+  void operator&(const CheckFailStream&) {}
+  void operator&(const NullStream&) {}
+};
+
+}  // namespace internal
+}  // namespace chiller
+
+/// Aborts with a message if `cond` is false. Always on (used to guard
+/// protocol invariants whose violation would silently corrupt results).
+/// Supports streaming extra context: CHILLER_CHECK(x > 0) << "got " << x;
+#define CHILLER_CHECK(cond)                 \
+  (cond) ? (void)0                          \
+         : ::chiller::internal::Voidify{} & \
+               ::chiller::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#ifndef NDEBUG
+#define CHILLER_DCHECK(cond) CHILLER_CHECK(cond)
+#else
+#define CHILLER_DCHECK(cond)                      \
+  true ? (void)0 : ::chiller::internal::Voidify{} & \
+                       ::chiller::internal::NullStream()
+#endif
+
+#endif  // CHILLER_COMMON_LOGGING_H_

@@ -1,0 +1,98 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every stochastic component in the library (workload generators, the network
+// jitter model, sampling stats collectors) draws from an explicitly seeded
+// Rng so that experiments and tests are exactly reproducible.
+#ifndef CHILLER_COMMON_RANDOM_H_
+#define CHILLER_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace chiller {
+
+/// xoshiro256**-based generator. Small, fast, and good enough statistical
+/// quality for workload generation (not for cryptography).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the full state from a single 64-bit value via SplitMix64.
+  void Seed(uint64_t seed) {
+    for (auto& word : s_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform over all 64-bit values.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    CHILLER_DCHECK(bound > 0);
+    // Lemire's nearly-divisionless method would be faster; the simple
+    // modulo bias here is < 2^-40 for all bounds used in this repo.
+    return Next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    CHILLER_DCHECK(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  size_t Weighted(const std::vector<double>& weights) {
+    CHILLER_DCHECK(!weights.empty());
+    double total = 0;
+    for (double w : weights) total += w;
+    double x = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace chiller
+
+#endif  // CHILLER_COMMON_RANDOM_H_

@@ -1,0 +1,115 @@
+// RocksDB-style Status / StatusOr error handling. The library does not throw.
+#ifndef CHILLER_COMMON_STATUS_H_
+#define CHILLER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace chiller {
+
+/// Outcome of a fallible library operation.
+///
+/// Codes follow the small set the system actually needs:
+///  - kAborted: a transaction lost a NO_WAIT conflict or failed validation.
+///  - kNotFound: key/record absent.
+///  - kInvalidArgument / kFailedPrecondition: caller errors.
+///  - kInternal: invariant violation inside the library.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kAborted,
+    kInvalidArgument,
+    kFailedPrecondition,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Either a value or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  StatusOr(Status status) : v_(std::move(status)) {  // NOLINT
+    CHILLER_CHECK(!std::get<Status>(v_).ok())
+        << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    CHILLER_CHECK(ok()) << "value() on error StatusOr: " << status().ToString();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    CHILLER_CHECK(ok()) << "value() on error StatusOr: " << status().ToString();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    CHILLER_CHECK(ok()) << "value() on error StatusOr: " << status().ToString();
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace chiller
+
+#endif  // CHILLER_COMMON_STATUS_H_

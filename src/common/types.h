@@ -1,0 +1,88 @@
+// Core identifier and time types shared by every module.
+#ifndef CHILLER_COMMON_TYPES_H_
+#define CHILLER_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace chiller {
+
+/// A physical machine in the (simulated) cluster.
+using NodeId = uint32_t;
+
+/// A transaction execution engine; the paper pins one engine per core and one
+/// partition per engine (Section 6).
+using EngineId = uint32_t;
+
+/// A horizontal partition of the database. Partitions map 1:1 to engines in
+/// the evaluation setup, but the types are kept distinct.
+using PartitionId = uint32_t;
+
+/// A table within the database schema.
+using TableId = uint16_t;
+
+/// A primary key. All workloads in this repo encode composite primary keys
+/// into a single 64-bit integer (see workload/tpcc/tpcc_schema.h).
+using Key = uint64_t;
+
+/// A globally unique transaction identifier.
+using TxnId = uint64_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = uint64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Identifies one record: a (table, primary key) pair.
+struct RecordId {
+  TableId table = 0;
+  Key key = 0;
+
+  friend bool operator==(const RecordId& a, const RecordId& b) {
+    return a.table == b.table && a.key == b.key;
+  }
+  friend bool operator!=(const RecordId& a, const RecordId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const RecordId& a, const RecordId& b) {
+    return a.table != b.table ? a.table < b.table : a.key < b.key;
+  }
+
+  std::string ToString() const {
+    return "t" + std::to_string(table) + "/k" + std::to_string(key);
+  }
+};
+
+struct RecordIdHash {
+  size_t operator()(const RecordId& r) const {
+    // SplitMix64-style finalizer over the combined 80 bits.
+    uint64_t x = r.key ^ (static_cast<uint64_t>(r.table) << 48);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace chiller
+
+template <>
+struct std::hash<chiller::RecordId> {
+  size_t operator()(const chiller::RecordId& r) const {
+    return chiller::RecordIdHash{}(r);
+  }
+};
+
+#endif  // CHILLER_COMMON_TYPES_H_

@@ -1,0 +1,60 @@
+// Zipfian distribution sampling for skewed workload generation.
+#ifndef CHILLER_COMMON_ZIPF_H_
+#define CHILLER_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace chiller {
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^theta.
+///
+/// Uses the O(1) approximation of Gray et al. ("Quickly generating
+/// billion-record synthetic databases", SIGMOD 1994), the same method YCSB
+/// uses. theta in [0, 1): 0 = uniform, 0.99 = heavily skewed.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Returns a rank in [0, n); rank 0 is the most popular.
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Exact probability mass of a given rank (for tests and analytics).
+  double Pmf(uint64_t rank) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+/// Samples from an arbitrary discrete distribution in O(1) via the alias
+/// method (Walker/Vose). Used by the Instacart-like generator, whose item
+/// popularity is an empirical distribution rather than a pure Zipf.
+class AliasSampler {
+ public:
+  /// `weights` need not be normalized; must be non-empty and non-negative
+  /// with a positive sum.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Returns an index in [0, size()).
+  size_t Next(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace chiller
+
+#endif  // CHILLER_COMMON_ZIPF_H_

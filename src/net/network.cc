@@ -1,0 +1,30 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace chiller::net {
+
+Network::Network(sim::Simulator* sim, NetworkConfig config, uint32_t num_nodes)
+    : sim_(sim),
+      config_(config),
+      num_nodes_(num_nodes),
+      last_delivery_(static_cast<size_t>(num_nodes) * num_nodes, 0) {}
+
+void Network::Deliver(NodeId src, NodeId dst, size_t bytes,
+                      std::function<void()> fn) {
+  CHILLER_DCHECK(src < num_nodes_ && dst < num_nodes_);
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  SimTime arrival = sim_->now() + config_.OneWay(bytes);
+  // Enforce FIFO per queue pair: a message never overtakes an earlier one on
+  // the same (src, dst) connection.
+  SimTime& horizon = last_delivery_[static_cast<size_t>(src) * num_nodes_ + dst];
+  arrival = std::max(arrival, horizon);
+  horizon = arrival;
+  sim_->ScheduleAt(arrival, std::move(fn));
+}
+
+}  // namespace chiller::net

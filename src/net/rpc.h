@@ -1,0 +1,47 @@
+// Two-sided RPC between execution engines.
+#ifndef CHILLER_NET_RPC_H_
+#define CHILLER_NET_RPC_H_
+
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/cpu_resource.h"
+
+namespace chiller::net {
+
+/// Sends messages that are *processed by the destination engine's CPU* —
+/// unlike one-sided verbs, an RPC occupies the remote core. Used for
+/// inner-region delegation (paper Section 3.3 step 4) and replication
+/// streams (Section 5).
+class RpcLayer {
+ public:
+  RpcLayer(sim::Simulator* sim, Network* network, Topology topology)
+      : sim_(sim), network_(network), topology_(std::move(topology)) {}
+
+  /// Registers the CPU of each engine; index = EngineId. Must be called once
+  /// before Send.
+  void BindEngines(std::vector<sim::CpuResource*> engine_cpus);
+
+  /// Sends a message of `bytes` from `src_engine` to `dst_engine`.
+  /// `handler` runs on the destination engine after queueing for its CPU and
+  /// consuming `service_cost` ns of it. Charges post cost to the source
+  /// engine's CPU. The handler sends any response explicitly via Send.
+  void Send(EngineId src_engine, EngineId dst_engine, size_t bytes,
+            SimTime service_cost, std::function<void()> handler);
+
+  uint64_t rpcs_sent() const { return rpcs_sent_; }
+  const Topology& topology() const { return topology_; }
+
+ private:
+  sim::Simulator* sim_;
+  Network* network_;
+  Topology topology_;
+  std::vector<sim::CpuResource*> engine_cpus_;
+  uint64_t rpcs_sent_ = 0;
+};
+
+}  // namespace chiller::net
+
+#endif  // CHILLER_NET_RPC_H_

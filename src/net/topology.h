@@ -1,0 +1,51 @@
+// Cluster topology: nodes, engines, and the partition-to-engine mapping.
+#ifndef CHILLER_NET_TOPOLOGY_H_
+#define CHILLER_NET_TOPOLOGY_H_
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace chiller::net {
+
+/// Describes the (simulated) cluster shape. Following the paper's setup,
+/// partitions map 1:1 onto execution engines and engines are pinned to cores:
+/// engine e lives on node e / engines_per_node and owns partition e.
+struct Topology {
+  uint32_t num_nodes = 1;
+  uint32_t engines_per_node = 1;
+  /// Replication degree as in the paper: 2 means one primary + one replica.
+  uint32_t replication_degree = 2;
+
+  uint32_t num_engines() const { return num_nodes * engines_per_node; }
+  uint32_t num_partitions() const { return num_engines(); }
+
+  NodeId NodeOfEngine(EngineId e) const {
+    CHILLER_DCHECK(e < num_engines());
+    return e / engines_per_node;
+  }
+
+  EngineId EngineOfPartition(PartitionId p) const {
+    CHILLER_DCHECK(p < num_partitions());
+    return p;
+  }
+
+  NodeId NodeOfPartition(PartitionId p) const {
+    return NodeOfEngine(EngineOfPartition(p));
+  }
+
+  /// Engine hosting replica `i` (1-based) of partition `p`: the engine with
+  /// the same local index on the i-th next node. Requires num_nodes >= the
+  /// replication degree so copies land on distinct machines.
+  EngineId ReplicaEngine(PartitionId p, uint32_t i) const {
+    CHILLER_DCHECK(i >= 1 && i < replication_degree);
+    const NodeId node = (NodeOfPartition(p) + i) % num_nodes;
+    const uint32_t local = p % engines_per_node;
+    return node * engines_per_node + local;
+  }
+
+  uint32_t num_replicas() const { return replication_degree - 1; }
+};
+
+}  // namespace chiller::net
+
+#endif  // CHILLER_NET_TOPOLOGY_H_

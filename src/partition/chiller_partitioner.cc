@@ -1,0 +1,273 @@
+#include "partition/chiller_partitioner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+namespace chiller::partition {
+
+namespace {
+
+/// Places the hot records first — the heart of Section 4: contended
+/// records that are frequently accessed together must share a partition so
+/// one inner region can cover them, while no partition may accumulate too
+/// much contention mass (the load-balance constraint).
+///
+/// Greedy affinity clustering: order hot records by contention; assign each
+/// to the partition holding the most co-accessed already-placed hot mass.
+/// The balance constraint follows the paper's load definition (Section
+/// 4.3): a partition may not hoard more than (1+eps)/k of the workload's
+/// total record *accesses* — contention itself is deliberately allowed to
+/// concentrate (Figure 5c co-locates every contended record).
+void SeedHotClusters(const StarGraph& star, const StatsCollector& stats,
+                     uint32_t k, double epsilon, double hot_threshold,
+                     std::vector<uint32_t>* assignment) {
+  const size_t num_records = star.records.size();
+  std::vector<uint32_t> hot;
+  for (uint32_t r = 0; r < num_records; ++r) {
+    if (star.contention[r] >= hot_threshold) hot.push_back(r);
+  }
+  double total_accesses = 0.0;
+  auto accesses_of = [&](uint32_t r) {
+    auto it = stats.records().find(star.records[r]);
+    return it == stats.records().end()
+               ? 0.0
+               : static_cast<double>(it->second.reads + it->second.writes);
+  };
+  for (uint32_t r = 0; r < num_records; ++r) {
+    total_accesses += accesses_of(r);
+  }
+  if (hot.empty()) return;
+  std::sort(hot.begin(), hot.end(), [&](uint32_t a, uint32_t b) {
+    if (star.contention[a] != star.contention[b]) {
+      return star.contention[a] > star.contention[b];
+    }
+    return a < b;
+  });
+  std::vector<bool> is_hot(num_records, false);
+  std::vector<int> placed(num_records, -1);
+  for (uint32_t r : hot) is_hot[r] = true;
+
+  // Pairwise co-access affinity between hot records, via their t-vertices.
+  std::unordered_map<uint64_t, double> affinity;
+  for (uint32_t t = static_cast<uint32_t>(num_records);
+       t < star.graph.num_vertices(); ++t) {
+    std::vector<uint32_t> members;
+    for (const auto& [r, w] : star.graph.adj[t]) {
+      (void)w;
+      if (r < num_records && is_hot[r]) members.push_back(r);
+    }
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        const auto [lo, hi] = std::minmax(members[a], members[b]);
+        affinity[(static_cast<uint64_t>(lo) << 32) | hi] +=
+            star.contention[lo] + star.contention[hi];
+      }
+    }
+  }
+  auto pair_affinity = [&](uint32_t a, uint32_t b) {
+    const auto [lo, hi] = std::minmax(a, b);
+    auto it = affinity.find((static_cast<uint64_t>(lo) << 32) | hi);
+    return it == affinity.end() ? 0.0 : it->second;
+  };
+
+  const double cap = (1.0 + epsilon) * total_accesses / k;
+  std::vector<double> access_load(k, 0.0);
+  std::vector<std::vector<uint32_t>> members_of(k);
+  for (uint32_t h : hot) {
+    uint32_t best = 0;
+    double best_score = -1.0;
+    for (uint32_t p = 0; p < k; ++p) {
+      if (access_load[p] + accesses_of(h) > cap && access_load[p] > 0) {
+        continue;
+      }
+      double score = 0.0;
+      for (uint32_t other : members_of[p]) score += pair_affinity(h, other);
+      // Tie-break toward the least access-loaded partition.
+      score -= access_load[p] * 1e-9;
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    (*assignment)[h] = best;
+    access_load[best] += accesses_of(h);
+    members_of[best].push_back(h);
+  }
+}
+
+/// Alternating refinement specialized to the bipartite star graph: snap
+/// every t-vertex to its strongest-connected partition (t-vertices are free
+/// under the record-count metric), then greedily move r-vertices — hottest
+/// first — to their strongest partition subject to the balance bound.
+/// This escapes the chicken-and-egg local optima generic boundary
+/// refinement hits on star graphs (a hot record only profits from moving
+/// if its transactions follow, and vice versa).
+void AlternatingStarRefine(const StarGraph& star, uint32_t k, double epsilon,
+                           uint32_t rounds,
+                           std::vector<uint32_t>* assignment) {
+  const Graph& g = star.graph;
+  const size_t num_records = star.records.size();
+  const double total = g.TotalVertexWeight();
+  const double max_load = (1.0 + epsilon) * total / k;
+
+  std::vector<double> loads(k, 0.0);
+  for (uint32_t v = 0; v < g.num_vertices(); ++v) {
+    loads[(*assignment)[v]] += g.vwgt[v];
+  }
+
+  // Hottest records first: their placement anchors everything else.
+  std::vector<uint32_t> r_order(num_records);
+  std::iota(r_order.begin(), r_order.end(), 0);
+  std::sort(r_order.begin(), r_order.end(), [&](uint32_t a, uint32_t b) {
+    if (star.contention[a] != star.contention[b]) {
+      return star.contention[a] > star.contention[b];
+    }
+    return a < b;
+  });
+
+  std::vector<double> conn(k, 0.0);
+  auto best_partition = [&](uint32_t v, bool respect_balance) {
+    std::fill(conn.begin(), conn.end(), 0.0);
+    for (const auto& [u, w] : g.adj[v]) conn[(*assignment)[u]] += w;
+    const uint32_t own = (*assignment)[v];
+    uint32_t best = own;
+    for (uint32_t p = 0; p < k; ++p) {
+      if (p == own) continue;
+      if (respect_balance && g.vwgt[v] > 0 &&
+          loads[p] + g.vwgt[v] > max_load) {
+        continue;
+      }
+      if (conn[p] > conn[best]) best = p;
+    }
+    return best;
+  };
+
+  for (uint32_t round = 0; round < rounds; ++round) {
+    bool changed = false;
+    for (uint32_t t = static_cast<uint32_t>(num_records);
+         t < g.num_vertices(); ++t) {
+      const uint32_t best = best_partition(t, /*respect_balance=*/true);
+      if (best != (*assignment)[t]) {
+        loads[(*assignment)[t]] -= g.vwgt[t];
+        loads[best] += g.vwgt[t];
+        (*assignment)[t] = best;
+        changed = true;
+      }
+    }
+    for (uint32_t r : r_order) {
+      const uint32_t best = best_partition(r, /*respect_balance=*/true);
+      if (best != (*assignment)[r]) {
+        loads[(*assignment)[r]] -= g.vwgt[r];
+        loads[best] += g.vwgt[r];
+        (*assignment)[r] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Hot seeding may have concentrated more weight than the bound allows;
+  // shed overload by evicting the records whose departure damages the cut
+  // least (coldest, least-connected first).
+  for (uint32_t p = 0; p < k; ++p) {
+    if (loads[p] <= max_load) continue;
+    std::vector<std::pair<double, uint32_t>> damage;  // (cut damage, vertex)
+    for (uint32_t r = 0; r < num_records; ++r) {
+      if ((*assignment)[r] != p || g.vwgt[r] == 0.0) continue;
+      std::fill(conn.begin(), conn.end(), 0.0);
+      for (const auto& [u, w] : g.adj[r]) conn[(*assignment)[u]] += w;
+      double best_other = 0.0;
+      for (uint32_t q = 0; q < k; ++q) {
+        if (q != p) best_other = std::max(best_other, conn[q]);
+      }
+      damage.emplace_back(conn[p] - best_other, r);
+    }
+    std::sort(damage.begin(), damage.end());
+    for (const auto& [dmg, r] : damage) {
+      (void)dmg;
+      if (loads[p] <= max_load) break;
+      uint32_t target = p;
+      for (uint32_t q = 0; q < k; ++q) {
+        if (q != p && (target == p || loads[q] < loads[target])) target = q;
+      }
+      if (target == p || loads[target] + g.vwgt[r] > max_load) continue;
+      loads[p] -= g.vwgt[r];
+      loads[target] += g.vwgt[r];
+      (*assignment)[r] = target;
+    }
+  }
+}
+
+}  // namespace
+
+ChillerPartitioner::Output ChillerPartitioner::Build(
+    const std::vector<TxnAccessTrace>& traces, const Options& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Global statistics service: aggregate the sampled traces.
+  StatsCollector stats(/*sample_rate=*/1.0, options.seed);
+  for (const TxnAccessTrace& t : traces) stats.ObserveTrace(t);
+
+  // Star graph with contention-likelihood edge weights.
+  WorkloadGraphBuilder::StarOptions gopts;
+  gopts.lock_window_txns = options.lock_window_txns;
+  gopts.metric = options.metric;
+  gopts.min_edge_weight = options.min_edge_weight;
+  StarGraph star = WorkloadGraphBuilder::BuildStar(traces, stats, gopts);
+
+  // Min-cut under the balance constraint: multilevel pass, then the
+  // star-specialized alternating refinement.
+  MultilevelPartitioner::Options mopts;
+  mopts.k = options.k;
+  mopts.epsilon = options.epsilon;
+  mopts.seed = options.seed;
+  auto result = MultilevelPartitioner::Partition(star.graph, mopts);
+  SeedHotClusters(star, stats, options.k, options.epsilon,
+                  options.hot_threshold, &result.assignment);
+  AlternatingStarRefine(star, options.k, options.epsilon, /*rounds=*/12,
+                        &result.assignment);
+  result.cut_weight =
+      MultilevelPartitioner::CutWeight(star.graph, result.assignment);
+  {
+    auto loads = MultilevelPartitioner::Loads(star.graph, result.assignment,
+                                              options.k);
+    result.max_load = *std::max_element(loads.begin(), loads.end());
+  }
+
+  Output out;
+  out.partitioner = std::make_unique<LookupPartitioner>(
+      std::make_unique<HashPartitioner>(options.k, options.fallback_fn));
+  for (uint32_t v = 0; v < star.records.size(); ++v) {
+    const bool hot = star.contention[v] >= options.hot_threshold;
+    if (hot || options.store_cold_placements) {
+      out.partitioner->Assign(star.records[v], result.assignment[v]);
+    }
+    if (hot) {
+      out.partitioner->MarkHot(star.records[v]);
+      out.hot_records.emplace_back(star.records[v], star.contention[v]);
+    }
+  }
+  std::sort(out.hot_records.begin(), out.hot_records.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+
+  const auto end = std::chrono::steady_clock::now();
+  out.report.graph_vertices = star.graph.num_vertices();
+  out.report.graph_edges = star.graph.num_edges();
+  out.report.lookup_entries = out.partitioner->LookupEntries();
+  out.report.hot_entries = out.partitioner->HotEntries();
+  out.report.cut_weight = result.cut_weight;
+  out.report.max_load = result.max_load;
+  out.report.avg_load = result.avg_load;
+  out.report.build_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count());
+  return out;
+}
+
+}  // namespace chiller::partition

@@ -1,0 +1,57 @@
+// Chiller's contention-centric partitioning pipeline (paper Section 4).
+#ifndef CHILLER_PARTITION_CHILLER_PARTITIONER_H_
+#define CHILLER_PARTITION_CHILLER_PARTITIONER_H_
+
+#include <memory>
+
+#include "partition/lookup_table.h"
+#include "partition/multilevel_partitioner.h"
+#include "partition/schism.h"
+#include "partition/stats_collector.h"
+#include "partition/workload_graph.h"
+
+namespace chiller::partition {
+
+/// The full pipeline:
+///   sampled access traces
+///     -> per-record Poisson contention likelihood (Section 4.1)
+///     -> star workload graph with contention edge weights (Section 4.2)
+///     -> multilevel min-cut under the load-balance constraint (Section 4.3)
+///     -> hot-only lookup table; cold records fall back to hash
+///        partitioning (the Section 4.4 optimization).
+class ChillerPartitioner {
+ public:
+  struct Options {
+    uint32_t k = 2;
+    double epsilon = 0.05;
+    uint64_t seed = 1;
+    /// Lock-window size in concurrent transactions (lambda normalization).
+    double lock_window_txns = 16.0;
+    LoadMetric metric = LoadMetric::kRecordCount;
+    /// Records with contention likelihood >= threshold enter the lookup
+    /// table and are flagged hot for the two-region run-time decision.
+    double hot_threshold = 1e-4;
+    /// Keep explicit placements for cold records too (lookup table grows
+    /// to Schism size; used by the lookup-table ablation).
+    bool store_cold_placements = false;
+    /// Section 4.4 co-optimization: minimum weight added to every star
+    /// edge, co-optimizing for fewer distributed transactions.
+    double min_edge_weight = 0.0;
+    /// Placement rule for cold/unseen records (see SchismPartitioner).
+    HashPartitioner::KeyToPartition fallback_fn = nullptr;
+  };
+
+  struct Output {
+    std::unique_ptr<LookupPartitioner> partitioner;
+    PartitioningReport report;
+    /// Records flagged hot, descending by contention likelihood.
+    std::vector<std::pair<RecordId, double>> hot_records;
+  };
+
+  static Output Build(const std::vector<TxnAccessTrace>& traces,
+                      const Options& options);
+};
+
+}  // namespace chiller::partition
+
+#endif  // CHILLER_PARTITION_CHILLER_PARTITIONER_H_

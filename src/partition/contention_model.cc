@@ -1,0 +1,15 @@
+#include "partition/contention_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace chiller::partition {
+
+double ContentionModel::ConflictLikelihood(double lambda_w, double lambda_r) {
+  CHILLER_DCHECK(lambda_w >= 0 && lambda_r >= 0);
+  const double ew = std::exp(-lambda_w);
+  return 1.0 - ew - lambda_w * ew * std::exp(-lambda_r);
+}
+
+}  // namespace chiller::partition

@@ -1,0 +1,24 @@
+// The Poisson contention-likelihood model of paper Section 4.1.
+#ifndef CHILLER_PARTITION_CONTENTION_MODEL_H_
+#define CHILLER_PARTITION_CONTENTION_MODEL_H_
+
+namespace chiller::partition {
+
+/// Conflict probability for one record given Poisson read/write arrival
+/// rates within a lock window:
+///
+///   Pc(Xw, Xr) = P(Xw > 1) P(Xr = 0) + P(Xw > 0) P(Xr > 0)
+///              = 1 - e^{-lw} - lw e^{-lw} e^{-lr}
+///
+/// where lw / lr are the expected number of writes / reads to the record
+/// while a lock is held. Pc is zero when the record is never written
+/// (shared locks are compatible) and rises with both rates otherwise.
+class ContentionModel {
+ public:
+  /// The closed form above. lambda_w, lambda_r >= 0.
+  static double ConflictLikelihood(double lambda_w, double lambda_r);
+};
+
+}  // namespace chiller::partition
+
+#endif  // CHILLER_PARTITION_CONTENTION_MODEL_H_

@@ -1,0 +1,39 @@
+// Adds a hot-record set on top of any placement scheme.
+#ifndef CHILLER_PARTITION_HOT_DECORATOR_H_
+#define CHILLER_PARTITION_HOT_DECORATOR_H_
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "partition/lookup_table.h"
+
+namespace chiller::partition {
+
+/// Wraps a base partitioner (hash, Schism, ...) and flags a given record
+/// set as hot. Used to run Chiller's two-region execution on layouts that
+/// were NOT produced by the contention-aware pipeline — the Figure 7
+/// comparison runs every layout under the same execution engine, so hotness
+/// must be decoupled from placement.
+class HotDecorator : public RecordPartitioner {
+ public:
+  HotDecorator(const RecordPartitioner* base,
+               std::vector<RecordId> hot_records)
+      : base_(base), hot_(hot_records.begin(), hot_records.end()) {}
+
+  PartitionId PartitionOf(const RecordId& rid) const override {
+    return base_->PartitionOf(rid);
+  }
+  bool IsHot(const RecordId& rid) const override {
+    return hot_.contains(rid);
+  }
+  size_t LookupEntries() const override { return base_->LookupEntries(); }
+
+ private:
+  const RecordPartitioner* base_;
+  std::unordered_set<RecordId> hot_;
+};
+
+}  // namespace chiller::partition
+
+#endif  // CHILLER_PARTITION_HOT_DECORATOR_H_

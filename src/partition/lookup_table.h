@@ -1,0 +1,92 @@
+// Record-to-partition mapping interfaces and the two-level lookup table.
+#ifndef CHILLER_PARTITION_LOOKUP_TABLE_H_
+#define CHILLER_PARTITION_LOOKUP_TABLE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace chiller::partition {
+
+/// Where does a record live, and is it hot? Every execution protocol
+/// consults this interface; concrete implementations come from the
+/// partitioning pipeline (hash, Schism, Chiller).
+class RecordPartitioner {
+ public:
+  virtual ~RecordPartitioner() = default;
+
+  virtual PartitionId PartitionOf(const RecordId& rid) const = 0;
+
+  /// True iff the record is in the hot lookup table (drives the two-region
+  /// run-time decision, Section 3.3 step 1).
+  virtual bool IsHot(const RecordId& rid) const {
+    (void)rid;
+    return false;
+  }
+
+  /// Number of explicit lookup-table entries this scheme must store
+  /// (the metric of Section 7.2.2's lookup-table comparison).
+  virtual size_t LookupEntries() const { return 0; }
+};
+
+/// Default partitioner: hash on the primary key (zero lookup state).
+/// An optional per-table override supports "partition by warehouse" style
+/// layouts where the key encodes the partition (see tpcc_schema.h).
+class HashPartitioner : public RecordPartitioner {
+ public:
+  using KeyToPartition = PartitionId (*)(const RecordId&, uint32_t);
+
+  explicit HashPartitioner(uint32_t num_partitions,
+                           KeyToPartition fn = nullptr)
+      : num_partitions_(num_partitions), fn_(fn) {}
+
+  PartitionId PartitionOf(const RecordId& rid) const override {
+    if (fn_ != nullptr) return fn_(rid, num_partitions_);
+    return static_cast<PartitionId>(RecordIdHash{}(rid) % num_partitions_);
+  }
+
+ private:
+  uint32_t num_partitions_;
+  KeyToPartition fn_;
+};
+
+/// Explicit record placement on top of a fallback partitioner.
+///
+/// Two modes, matching the paper:
+///  - full table (Schism-style): every record that appeared in the workload
+///    trace has an entry — LookupEntries() is large;
+///  - hot-only (Chiller, Section 4.4): only records whose contention
+///    likelihood clears the threshold get entries; cold records fall back
+///    to the default partitioner.
+class LookupPartitioner : public RecordPartitioner {
+ public:
+  explicit LookupPartitioner(std::unique_ptr<RecordPartitioner> fallback)
+      : fallback_(std::move(fallback)) {}
+
+  void Assign(const RecordId& rid, PartitionId p) { entries_[rid] = p; }
+  void MarkHot(const RecordId& rid) { hot_.insert(rid); }
+
+  PartitionId PartitionOf(const RecordId& rid) const override {
+    auto it = entries_.find(rid);
+    if (it != entries_.end()) return it->second;
+    return fallback_->PartitionOf(rid);
+  }
+
+  bool IsHot(const RecordId& rid) const override {
+    return hot_.contains(rid);
+  }
+
+  size_t LookupEntries() const override { return entries_.size(); }
+  size_t HotEntries() const { return hot_.size(); }
+
+ private:
+  std::unique_ptr<RecordPartitioner> fallback_;
+  std::unordered_map<RecordId, PartitionId> entries_;
+  std::unordered_set<RecordId> hot_;
+};
+
+}  // namespace chiller::partition
+
+#endif  // CHILLER_PARTITION_LOOKUP_TABLE_H_

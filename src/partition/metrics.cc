@@ -1,0 +1,63 @@
+#include "partition/metrics.h"
+
+#include <map>
+#include <set>
+
+#include "partition/contention_model.h"
+
+namespace chiller::partition {
+
+double DistributedRatio(const std::vector<TxnAccessTrace>& traces,
+                        const RecordPartitioner& partitioner) {
+  uint64_t total = 0, distributed = 0;
+  for (const TxnAccessTrace& t : traces) {
+    if (t.accesses.empty()) continue;
+    std::set<PartitionId> parts;
+    for (const auto& [rid, write] : t.accesses) {
+      (void)write;
+      parts.insert(partitioner.PartitionOf(rid));
+    }
+    total += t.multiplicity;
+    if (parts.size() > 1) distributed += t.multiplicity;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(distributed) /
+                          static_cast<double>(total);
+}
+
+double ResidualContention(const std::vector<TxnAccessTrace>& traces,
+                          const RecordPartitioner& partitioner,
+                          const StatsCollector& stats,
+                          double lock_window_txns) {
+  double total = 0.0;
+  for (const TxnAccessTrace& t : traces) {
+    std::map<PartitionId, double> mass;
+    std::map<RecordId, double> pc;
+    for (const auto& [rid, write] : t.accesses) {
+      (void)write;
+      if (pc.contains(rid)) continue;
+      const double likelihood = ContentionModel::ConflictLikelihood(
+          stats.LambdaW(rid, lock_window_txns),
+          stats.LambdaR(rid, lock_window_txns));
+      pc[rid] = likelihood;
+      mass[partitioner.PartitionOf(rid)] += likelihood;
+    }
+    // Best single inner host = partition with the most contention mass.
+    PartitionId host = kInvalidPartition;
+    double best = -1.0;
+    for (const auto& [p, m] : mass) {
+      if (m > best) {
+        best = m;
+        host = p;
+      }
+    }
+    for (const auto& [rid, likelihood] : pc) {
+      if (partitioner.PartitionOf(rid) != host) {
+        total += likelihood * static_cast<double>(t.multiplicity);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace chiller::partition

@@ -1,0 +1,31 @@
+// Layout-quality metrics: distributed-transaction ratio and the residual
+// contention objective of Section 4.3.
+#ifndef CHILLER_PARTITION_METRICS_H_
+#define CHILLER_PARTITION_METRICS_H_
+
+#include <vector>
+
+#include "partition/lookup_table.h"
+#include "partition/stats_collector.h"
+
+namespace chiller::partition {
+
+/// Fraction of transactions whose access set spans more than one partition
+/// under `partitioner` (the Figure 8 metric).
+double DistributedRatio(const std::vector<TxnAccessTrace>& traces,
+                        const RecordPartitioner& partitioner);
+
+/// The residual contention objective: for each transaction, the best single
+/// inner host is the partition carrying the most contention mass; every
+/// record outside it contributes its conflict likelihood (it would be
+/// locked across the outer region's span). Lower is better. This evaluates
+/// a layout against the paper's min-sum-of-cut-weights objective without
+/// running the system.
+double ResidualContention(const std::vector<TxnAccessTrace>& traces,
+                          const RecordPartitioner& partitioner,
+                          const StatsCollector& stats,
+                          double lock_window_txns);
+
+}  // namespace chiller::partition
+
+#endif  // CHILLER_PARTITION_METRICS_H_

@@ -1,0 +1,55 @@
+// From-scratch multilevel k-way graph partitioner — the repo's METIS
+// substitute (see DESIGN.md section 1).
+#ifndef CHILLER_PARTITION_MULTILEVEL_PARTITIONER_H_
+#define CHILLER_PARTITION_MULTILEVEL_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/workload_graph.h"
+
+namespace chiller::partition {
+
+/// Multilevel k-way partitioning:
+///   1. coarsening via heavy-edge matching (repeated until the graph is
+///      small or contraction stalls),
+///   2. greedy region-growing initial partitioning on the coarsest graph,
+///   3. uncoarsening with Fiduccia–Mattheyses-style boundary refinement at
+///      every level, under the balance constraint
+///      L(p) <= (1 + epsilon) * mu (paper Section 4.3).
+///
+/// The same algorithm family as METIS; deterministic for a fixed seed.
+class MultilevelPartitioner {
+ public:
+  struct Options {
+    uint32_t k = 2;
+    double epsilon = 0.05;
+    /// Stop coarsening below max(coarsen_to, 16 * k) vertices.
+    uint32_t coarsen_to = 128;
+    uint32_t refine_passes = 6;
+    uint64_t seed = 1;
+  };
+
+  struct Result {
+    std::vector<uint32_t> assignment;  ///< partition id per vertex
+    double cut_weight = 0.0;           ///< total weight of cut edges
+    double max_load = 0.0;
+    double avg_load = 0.0;
+    uint32_t levels = 0;               ///< coarsening depth used
+  };
+
+  static Result Partition(const Graph& graph, const Options& options);
+
+  /// Total weight of edges crossing partitions under `assignment`.
+  static double CutWeight(const Graph& graph,
+                          const std::vector<uint32_t>& assignment);
+
+  /// Per-partition vertex-weight loads.
+  static std::vector<double> Loads(const Graph& graph,
+                                   const std::vector<uint32_t>& assignment,
+                                   uint32_t k);
+};
+
+}  // namespace chiller::partition
+
+#endif  // CHILLER_PARTITION_MULTILEVEL_PARTITIONER_H_

@@ -1,0 +1,55 @@
+// Schism-style baseline partitioner (Curino et al., VLDB 2010), as the
+// paper's primary comparison point: minimize distributed transactions via
+// min-cut on the record co-access graph.
+#ifndef CHILLER_PARTITION_SCHISM_H_
+#define CHILLER_PARTITION_SCHISM_H_
+
+#include <memory>
+
+#include "partition/lookup_table.h"
+#include "partition/multilevel_partitioner.h"
+#include "partition/stats_collector.h"
+#include "partition/workload_graph.h"
+
+namespace chiller::partition {
+
+/// Build metadata shared by the partitioning pipelines; feeds the Section
+/// 4.4 / 7.2.2 cost and lookup-table-size comparisons.
+struct PartitioningReport {
+  size_t graph_vertices = 0;
+  size_t graph_edges = 0;
+  size_t lookup_entries = 0;
+  size_t hot_entries = 0;
+  double cut_weight = 0.0;
+  double max_load = 0.0;
+  double avg_load = 0.0;
+  /// Wall-clock time for graph construction + partitioning, microseconds.
+  uint64_t build_micros = 0;
+};
+
+/// Schism pipeline: co-access clique graph -> multilevel min-cut ->
+/// full per-record lookup table (every record in the trace gets an entry;
+/// records never seen fall back to hashing).
+class SchismPartitioner {
+ public:
+  struct Options {
+    uint32_t k = 2;
+    double epsilon = 0.05;
+    uint64_t seed = 1;
+    /// Placement rule for records outside the lookup table (workload-
+    /// specific key-encoded placements, e.g. Instacart order rows).
+    HashPartitioner::KeyToPartition fallback_fn = nullptr;
+  };
+
+  struct Output {
+    std::unique_ptr<LookupPartitioner> partitioner;
+    PartitioningReport report;
+  };
+
+  static Output Build(const std::vector<TxnAccessTrace>& traces,
+                      const Options& options);
+};
+
+}  // namespace chiller::partition
+
+#endif  // CHILLER_PARTITION_SCHISM_H_

@@ -1,0 +1,65 @@
+#include "partition/stats_collector.h"
+
+#include <algorithm>
+
+#include "partition/contention_model.h"
+
+namespace chiller::partition {
+
+void StatsCollector::Observe(const txn::Transaction& t) {
+  if (sample_rate_ < 1.0 && !rng_.Bernoulli(sample_rate_)) return;
+  TxnAccessTrace trace;
+  trace.txn_class = t.txn_class;
+  for (size_t i = 0; i < t.ops.size(); ++i) {
+    if (!t.accesses[i].key_resolved || t.accesses[i].alias_of >= 0) continue;
+    trace.accesses.emplace_back(t.accesses[i].rid, t.ops[i].IsWrite());
+  }
+  ObserveTrace(trace);
+}
+
+void StatsCollector::ObserveTrace(const TxnAccessTrace& trace) {
+  sampled_txns_ += trace.multiplicity;
+  for (const auto& [rid, write] : trace.accesses) {
+    RecordCounts& c = records_[rid];
+    if (write) {
+      c.writes += trace.multiplicity;
+    } else {
+      c.reads += trace.multiplicity;
+    }
+  }
+}
+
+double StatsCollector::LambdaR(const RecordId& rid,
+                               double window_txns) const {
+  auto it = records_.find(rid);
+  if (it == records_.end() || sampled_txns_ == 0) return 0.0;
+  return static_cast<double>(it->second.reads) /
+         static_cast<double>(sampled_txns_) * window_txns;
+}
+
+double StatsCollector::LambdaW(const RecordId& rid,
+                               double window_txns) const {
+  auto it = records_.find(rid);
+  if (it == records_.end() || sampled_txns_ == 0) return 0.0;
+  return static_cast<double>(it->second.writes) /
+         static_cast<double>(sampled_txns_) * window_txns;
+}
+
+std::vector<std::pair<RecordId, double>>
+StatsCollector::ContentionLikelihoods(double window_txns) const {
+  std::vector<std::pair<RecordId, double>> out;
+  out.reserve(records_.size());
+  for (const auto& [rid, counts] : records_) {
+    (void)counts;
+    out.emplace_back(rid,
+                     ContentionModel::ConflictLikelihood(
+                         LambdaW(rid, window_txns), LambdaR(rid, window_txns)));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  return out;
+}
+
+}  // namespace chiller::partition

@@ -1,0 +1,69 @@
+// Sampling statistics collection — the per-partition managers plus the
+// global statistics service of paper Section 4.1.
+#ifndef CHILLER_PARTITION_STATS_COLLECTOR_H_
+#define CHILLER_PARTITION_STATS_COLLECTOR_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace chiller::partition {
+
+/// One sampled transaction's access set. `write` marks modifying accesses.
+/// Identical transactions may be aggregated via `multiplicity`.
+struct TxnAccessTrace {
+  uint32_t txn_class = 0;
+  std::vector<std::pair<RecordId, bool>> accesses;
+  uint64_t multiplicity = 1;
+};
+
+/// Samples running transactions (or ingests an offline trace) and
+/// aggregates per-record read/write frequencies; converts them to the
+/// Poisson arrival rates the contention model consumes.
+class StatsCollector {
+ public:
+  /// `sample_rate` in (0, 1]: fraction of transactions recorded. The paper
+  /// finds 0.001 sufficient; tests use 1.0 for determinism.
+  explicit StatsCollector(double sample_rate = 1.0, uint64_t seed = 1)
+      : sample_rate_(sample_rate), rng_(seed) {}
+
+  /// Online path: called with an executed transaction; applies sampling.
+  void Observe(const txn::Transaction& t);
+
+  /// Offline path: ingests a pre-extracted access set (no sampling).
+  void ObserveTrace(const TxnAccessTrace& trace);
+
+  struct RecordCounts {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+  };
+
+  const std::unordered_map<RecordId, RecordCounts>& records() const {
+    return records_;
+  }
+  uint64_t sampled_txns() const { return sampled_txns_; }
+
+  /// Expected accesses to `rid` within a lock window spanning
+  /// `window_txns` concurrently running transactions: the time-normalized
+  /// access frequency of Section 4.1.
+  double LambdaR(const RecordId& rid, double window_txns) const;
+  double LambdaW(const RecordId& rid, double window_txns) const;
+
+  /// Contention likelihood of every observed record, descending by Pc.
+  std::vector<std::pair<RecordId, double>> ContentionLikelihoods(
+      double window_txns) const;
+
+ private:
+  double sample_rate_;
+  Rng rng_;
+  std::unordered_map<RecordId, RecordCounts> records_;
+  uint64_t sampled_txns_ = 0;
+};
+
+}  // namespace chiller::partition
+
+#endif  // CHILLER_PARTITION_STATS_COLLECTOR_H_

@@ -1,0 +1,82 @@
+// Workload graph representations: Chiller's star graph (Section 4.2) and
+// the Schism-style record co-access graph it is compared against.
+#ifndef CHILLER_PARTITION_WORKLOAD_GRAPH_H_
+#define CHILLER_PARTITION_WORKLOAD_GRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "partition/stats_collector.h"
+
+namespace chiller::partition {
+
+/// Undirected weighted graph in adjacency-list form, the input to the
+/// multilevel partitioner. Parallel edges must be pre-merged.
+struct Graph {
+  /// adj[v] = (neighbor, edge weight). Each undirected edge appears in both
+  /// endpoint lists.
+  std::vector<std::vector<std::pair<uint32_t, double>>> adj;
+  /// Balance weight per vertex (load metric, Section 4.3).
+  std::vector<double> vwgt;
+
+  size_t num_vertices() const { return adj.size(); }
+  size_t num_edges() const;  ///< undirected edge count
+  double TotalVertexWeight() const;
+};
+
+/// Which load metric balances partitions (Section 4.3).
+enum class LoadMetric {
+  kTxnCount,     ///< t-vertices weigh 1, r-vertices 0
+  kRecordCount,  ///< r-vertices weigh 1, t-vertices 0
+  kAccessCount,  ///< r-vertices weigh reads+writes, t-vertices 0
+};
+
+/// Chiller's star representation: one r-vertex per record, one t-vertex per
+/// (deduplicated) transaction, an edge t—r with weight equal to the
+/// record's contention likelihood. n edges per transaction instead of
+/// Schism's n(n-1)/2 (Section 4.4).
+struct StarGraph {
+  Graph graph;
+  /// r-vertex v (< records.size()) is records[v]; vertices >= records.size()
+  /// are t-vertices.
+  std::vector<RecordId> records;
+  size_t num_t_vertices = 0;
+  /// Per-record contention likelihood, aligned with `records`.
+  std::vector<double> contention;
+
+  bool IsRecordVertex(uint32_t v) const { return v < records.size(); }
+};
+
+/// Schism's representation: r-vertices only, clique edges weighted by
+/// co-access frequency.
+struct CoAccessGraph {
+  Graph graph;
+  std::vector<RecordId> records;
+};
+
+class WorkloadGraphBuilder {
+ public:
+  struct StarOptions {
+    double lock_window_txns = 16.0;
+    LoadMetric metric = LoadMetric::kRecordCount;
+    /// Minimum weight added to every edge: the co-optimization knob of
+    /// Section 4.4 (0 = pure contention objective; larger values also pull
+    /// co-accessed records together, trading contention for fewer
+    /// distributed transactions).
+    double min_edge_weight = 0.0;
+    /// Merge transactions with identical access sets into one t-vertex.
+    bool dedupe_identical_txns = true;
+  };
+
+  static StarGraph BuildStar(const std::vector<TxnAccessTrace>& traces,
+                             const StatsCollector& stats,
+                             const StarOptions& options);
+
+  static CoAccessGraph BuildCoAccess(
+      const std::vector<TxnAccessTrace>& traces);
+};
+
+}  // namespace chiller::partition
+
+#endif  // CHILLER_PARTITION_WORKLOAD_GRAPH_H_

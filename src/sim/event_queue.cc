@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace chiller::sim {
+
+void EventQueue::Push(SimTime time, std::function<void()> fn) {
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    fns_[slot] = std::move(fn);
+  } else {
+    slot = fns_.size();
+    fns_.push_back(std::move(fn));
+  }
+  heap_.push(Entry{time, next_seq_++, slot});
+}
+
+SimTime EventQueue::NextTime() const {
+  return heap_.empty() ? kSimTimeNever : heap_.top().time;
+}
+
+Event EventQueue::Pop() {
+  CHILLER_CHECK(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  Event e{top.time, top.seq, std::move(fns_[top.slot])};
+  fns_[top.slot] = nullptr;
+  free_slots_.push_back(top.slot);
+  return e;
+}
+
+}  // namespace chiller::sim

@@ -1,0 +1,58 @@
+// Deterministic event queue for the discrete-event simulator.
+#ifndef CHILLER_SIM_EVENT_QUEUE_H_
+#define CHILLER_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace chiller::sim {
+
+/// A scheduled callback. Events are totally ordered by (time, seq): two
+/// events at the same instant fire in the order they were scheduled, which
+/// makes simulations bit-for-bit reproducible.
+struct Event {
+  SimTime time = 0;
+  uint64_t seq = 0;
+  std::function<void()> fn;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `time`.
+  void Push(SimTime time, std::function<void()> fn);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; kSimTimeNever when empty.
+  SimTime NextTime() const;
+
+  /// Removes and returns the earliest event. Queue must be non-empty.
+  Event Pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    size_t slot;  // index into fns_
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<std::function<void()>> fns_;
+  std::vector<size_t> free_slots_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace chiller::sim
+
+#endif  // CHILLER_SIM_EVENT_QUEUE_H_

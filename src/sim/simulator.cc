@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace chiller::sim {
+
+void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  queue_.Push(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+  CHILLER_CHECK(when >= now_) << "scheduling into the past: " << when << " < "
+                              << now_;
+  queue_.Push(when, std::move(fn));
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) {
+    Event e = queue_.Pop();
+    CHILLER_DCHECK(e.time >= now_);
+    now_ = e.time;
+    ++events_processed_;
+    e.fn();
+  }
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.NextTime() <= until) {
+    Event e = queue_.Pop();
+    now_ = e.time;
+    ++events_processed_;
+    e.fn();
+  }
+  now_ = std::max(now_, until);
+}
+
+void Simulator::Clear() {
+  while (!queue_.empty()) queue_.Pop();
+}
+
+}  // namespace chiller::sim

@@ -1,0 +1,53 @@
+// Discrete-event simulator: the substrate standing in for the paper's
+// 8-machine InfiniBand testbed. See DESIGN.md section 1 for the fidelity
+// argument.
+#ifndef CHILLER_SIM_SIMULATOR_H_
+#define CHILLER_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace chiller::sim {
+
+/// Single-threaded deterministic event loop. All cluster components
+/// (engines, NICs, the network) schedule callbacks here; simulated time
+/// advances only between events, never inside one.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ns from now.
+  void Schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute simulated time `when` (>= now()).
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Runs events until the queue drains.
+  void Run();
+
+  /// Runs all events with time <= `until`, then sets now() to `until`.
+  void RunUntil(SimTime until);
+
+  /// Drops every pending event (used by tests and to end measurement runs).
+  void Clear();
+
+  uint64_t events_processed() const { return events_processed_; }
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace chiller::sim
+
+#endif  // CHILLER_SIM_SIMULATOR_H_

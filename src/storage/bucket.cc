@@ -1,0 +1,38 @@
+#include "storage/bucket.h"
+
+#include <utility>
+
+namespace chiller::storage {
+
+Record* Bucket::Find(Key key) {
+  for (auto& e : entries_) {
+    if (e.key == key) return &e.record;
+  }
+  return nullptr;
+}
+
+const Record* Bucket::Find(Key key) const {
+  for (const auto& e : entries_) {
+    if (e.key == key) return &e.record;
+  }
+  return nullptr;
+}
+
+bool Bucket::Insert(Key key, Record record) {
+  if (Find(key) != nullptr) return false;
+  entries_.push_back(Entry{key, std::move(record)});
+  return true;
+}
+
+bool Bucket::Erase(Key key) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].key == key) {
+      entries_[i] = std::move(entries_.back());
+      entries_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace chiller::storage

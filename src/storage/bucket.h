@@ -1,0 +1,66 @@
+// Hash bucket with an embedded lock word (NAM-DB style, paper Section 6).
+#ifndef CHILLER_STORAGE_BUCKET_H_
+#define CHILLER_STORAGE_BUCKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/lock_word.h"
+#include "storage/record.h"
+
+namespace chiller::storage {
+
+/// One hash bucket: a small set of records sharing a single lock word.
+/// "Buckets are locked when any of their records are being accessed, and the
+/// lock remains until the transaction commits or aborts" (Section 6).
+/// Overflow is modeled by letting the entry vector grow (an overflow bucket
+/// chained off the primary, sharing its lock).
+class Bucket {
+ public:
+  Bucket() : lock_(LockWord::MakeFree(0)) {}
+
+  /// The raw lock word; remote engines CAS this via one-sided RDMA.
+  uint64_t lock_word() const { return lock_; }
+  uint64_t* mutable_lock_word() { return &lock_; }
+
+  bool TryLockShared() { return LockWord::TryAcquireShared(&lock_); }
+  bool TryLockExclusive() { return LockWord::TryAcquireExclusive(&lock_); }
+  void UnlockShared() { LockWord::ReleaseShared(&lock_); }
+  void UnlockExclusive(bool modified) {
+    LockWord::ReleaseExclusive(&lock_, modified);
+  }
+  uint64_t version() const { return LockWord::Version(lock_); }
+
+  /// Returns the record stored under `key`, or nullptr.
+  Record* Find(Key key);
+  const Record* Find(Key key) const;
+
+  /// Inserts a new record; returns false if the key already exists.
+  bool Insert(Key key, Record record);
+
+  /// Removes `key`; returns true if it was present.
+  bool Erase(Key key);
+
+  size_t num_records() const { return entries_.size(); }
+
+  /// Visits every (key, record) in the bucket.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& e : entries_) fn(e.key, e.record);
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Record record;
+  };
+
+  uint64_t lock_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace chiller::storage
+
+#endif  // CHILLER_STORAGE_BUCKET_H_

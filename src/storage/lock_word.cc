@@ -1,0 +1,37 @@
+#include "storage/lock_word.h"
+
+#include "common/logging.h"
+
+namespace chiller::storage {
+
+bool LockWord::TryAcquireShared(uint64_t* w) {
+  if (IsExclusive(*w)) return false;
+  const uint32_t holders = SharedCount(*w);
+  CHILLER_CHECK(holders < kMaxSharedHolders) << "shared count overflow";
+  *w = (*w & ~kSharedMask) |
+       (static_cast<uint64_t>(holders + 1) << kSharedShift);
+  return true;
+}
+
+bool LockWord::TryAcquireExclusive(uint64_t* w) {
+  if (!IsFree(*w)) return false;
+  *w |= kExclusiveBit;
+  return true;
+}
+
+void LockWord::ReleaseShared(uint64_t* w) {
+  CHILLER_CHECK(!IsExclusive(*w) && SharedCount(*w) > 0)
+      << "bad shared release";
+  const uint32_t holders = SharedCount(*w);
+  *w = (*w & ~kSharedMask) |
+       (static_cast<uint64_t>(holders - 1) << kSharedShift);
+}
+
+void LockWord::ReleaseExclusive(uint64_t* w, bool modified) {
+  CHILLER_CHECK(IsExclusive(*w)) << "bad exclusive release";
+  uint64_t version = Version(*w);
+  if (modified) version = (version + 1) & kVersionMask;
+  *w = MakeFree(version);
+}
+
+}  // namespace chiller::storage

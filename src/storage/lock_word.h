@@ -1,0 +1,54 @@
+// 64-bit bucket lock word, designed to be manipulated by RDMA CAS.
+#ifndef CHILLER_STORAGE_LOCK_WORD_H_
+#define CHILLER_STORAGE_LOCK_WORD_H_
+
+#include <cstdint>
+
+namespace chiller::storage {
+
+/// Layout (paper Section 6: each bucket encapsulates its own lock so remote
+/// engines can lock via one-sided CAS instead of messaging a lock manager):
+///
+///   bit 63      : exclusive flag
+///   bits 62..48 : shared holder count (15 bits)
+///   bits 47..0  : version, bumped on every exclusive release with changes
+///
+/// The version field doubles as the OCC validation stamp.
+class LockWord {
+ public:
+  static constexpr int kVersionBits = 48;
+  static constexpr uint64_t kVersionMask = (uint64_t{1} << kVersionBits) - 1;
+  static constexpr uint64_t kExclusiveBit = uint64_t{1} << 63;
+  static constexpr int kSharedShift = kVersionBits;
+  static constexpr uint64_t kSharedMask = ((uint64_t{1} << 15) - 1)
+                                          << kSharedShift;
+  static constexpr uint32_t kMaxSharedHolders = (1u << 15) - 1;
+
+  static uint64_t MakeFree(uint64_t version) { return version & kVersionMask; }
+
+  static bool IsExclusive(uint64_t w) { return (w & kExclusiveBit) != 0; }
+  static uint32_t SharedCount(uint64_t w) {
+    return static_cast<uint32_t>((w & kSharedMask) >> kSharedShift);
+  }
+  static uint64_t Version(uint64_t w) { return w & kVersionMask; }
+  static bool IsFree(uint64_t w) {
+    return !IsExclusive(w) && SharedCount(w) == 0;
+  }
+
+  /// NO_WAIT shared acquire: succeeds iff not exclusively held. Mutates the
+  /// word in place and returns true on success.
+  static bool TryAcquireShared(uint64_t* w);
+
+  /// NO_WAIT exclusive acquire: succeeds iff completely free.
+  static bool TryAcquireExclusive(uint64_t* w);
+
+  /// Drops one shared holder. Requires SharedCount > 0 and not exclusive.
+  static void ReleaseShared(uint64_t* w);
+
+  /// Releases the exclusive lock; bumps the version iff `modified`.
+  static void ReleaseExclusive(uint64_t* w, bool modified);
+};
+
+}  // namespace chiller::storage
+
+#endif  // CHILLER_STORAGE_LOCK_WORD_H_

@@ -1,0 +1,88 @@
+#include "storage/partition_store.h"
+
+#include <utility>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace chiller::storage {
+
+PartitionStore::PartitionStore(PartitionId id,
+                               const std::vector<TableSpec>& schema)
+    : id_(id) {
+  size_t max_id = 0;
+  for (const auto& spec : schema) max_id = std::max<size_t>(max_id, spec.id);
+  tables_.resize(max_id + 1);
+  for (const auto& spec : schema) {
+    CHILLER_CHECK(tables_[spec.id] == nullptr) << "duplicate table id";
+    tables_[spec.id] = std::make_unique<Table>(spec);
+  }
+}
+
+Table* PartitionStore::table(TableId t) {
+  CHILLER_CHECK(t < tables_.size() && tables_[t] != nullptr)
+      << "unknown table " << t;
+  return tables_[t].get();
+}
+
+const Table* PartitionStore::table(TableId t) const {
+  CHILLER_CHECK(t < tables_.size() && tables_[t] != nullptr)
+      << "unknown table " << t;
+  return tables_[t].get();
+}
+
+Status PartitionStore::TryLock(const RecordId& rid, LockMode mode) {
+  Bucket* b = table(rid.table)->BucketFor(rid.key);
+  const bool ok = mode == LockMode::kShared ? b->TryLockShared()
+                                            : b->TryLockExclusive();
+  if (!ok) {
+    if (getenv("CHILLER_TRACE_CONFLICTS") != nullptr) {
+      fprintf(stderr, "CONFLICT part=%u table=%u key=%llu mode=%d word=%llx\n",
+              id_, rid.table, (unsigned long long)rid.key, (int)mode,
+              (unsigned long long)b->lock_word());
+    }
+    return Status::Aborted("lock conflict");
+  }
+  ++locks_held_;
+  return Status::OK();
+}
+
+void PartitionStore::Unlock(const RecordId& rid, LockMode mode,
+                            bool modified) {
+  Bucket* b = table(rid.table)->BucketFor(rid.key);
+  if (mode == LockMode::kShared) {
+    b->UnlockShared();
+  } else {
+    b->UnlockExclusive(modified);
+  }
+  CHILLER_CHECK(locks_held_ > 0);
+  --locks_held_;
+}
+
+uint64_t PartitionStore::VersionOf(const RecordId& rid) const {
+  return table(rid.table)->BucketFor(rid.key)->version();
+}
+
+Record* PartitionStore::Find(const RecordId& rid) {
+  return table(rid.table)->Find(rid.key);
+}
+
+Status PartitionStore::Insert(const RecordId& rid, Record record) {
+  return table(rid.table)->Insert(rid.key, std::move(record));
+}
+
+Status PartitionStore::Erase(const RecordId& rid) {
+  return table(rid.table)->Erase(rid.key);
+}
+
+size_t PartitionStore::num_records() const {
+  size_t n = 0;
+  for (const auto& t : tables_) {
+    if (t != nullptr) n += t->num_records();
+  }
+  return n;
+}
+
+}  // namespace chiller::storage

@@ -1,0 +1,70 @@
+// One partition's storage: all table slices plus lock bookkeeping.
+#ifndef CHILLER_STORAGE_PARTITION_STORE_H_
+#define CHILLER_STORAGE_PARTITION_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/table.h"
+
+namespace chiller::storage {
+
+/// Lock mode requested by a transaction operation.
+enum class LockMode { kShared, kExclusive };
+
+/// The storage server slice for one partition, exposed to remote engines as
+/// RDMA-registered memory (NAM-DB architecture, Section 6). Replica copies
+/// are also PartitionStores; they receive applied updates, never locks.
+class PartitionStore {
+ public:
+  PartitionStore(PartitionId id, const std::vector<TableSpec>& schema);
+
+  PartitionId id() const { return id_; }
+
+  Table* table(TableId t);
+  const Table* table(TableId t) const;
+
+  /// NO_WAIT lock acquisition on the bucket owning (table, key).
+  /// Returns Aborted on conflict. This is exactly what a one-sided CAS
+  /// performs at the remote side.
+  Status TryLock(const RecordId& rid, LockMode mode);
+
+  /// Releases a lock taken by TryLock. `modified` bumps the version on
+  /// exclusive release (OCC validation stamp).
+  void Unlock(const RecordId& rid, LockMode mode, bool modified);
+
+  /// Current version stamp of the bucket owning `rid`.
+  uint64_t VersionOf(const RecordId& rid) const;
+
+  Record* Find(const RecordId& rid);
+  Status Insert(const RecordId& rid, Record record);
+  Status Erase(const RecordId& rid);
+
+  /// Total records across tables (load metric for partitioning).
+  size_t num_records() const;
+
+  /// Number of currently held locks (tests assert it returns to zero).
+  size_t locks_held() const { return locks_held_; }
+
+  /// Visits every record in every table: fn(RecordId, Record).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t ti = 0; ti < tables_.size(); ++ti) {
+      if (tables_[ti] == nullptr) continue;
+      tables_[ti]->ForEach([&](Key k, const Record& r) {
+        fn(RecordId{static_cast<TableId>(ti), k}, r);
+      });
+    }
+  }
+
+ private:
+  PartitionId id_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  size_t locks_held_ = 0;
+};
+
+}  // namespace chiller::storage
+
+#endif  // CHILLER_STORAGE_PARTITION_STORE_H_

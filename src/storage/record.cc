@@ -1,0 +1,5 @@
+#include "storage/record.h"
+
+// Record is header-only; this TU anchors the module in the build and keeps a
+// home for future out-of-line members (e.g., varlen payloads).
+namespace chiller::storage {}

@@ -1,0 +1,59 @@
+// Fixed-layout in-memory record.
+#ifndef CHILLER_STORAGE_RECORD_H_
+#define CHILLER_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace chiller::storage {
+
+/// A record is a fixed number of 64-bit fields plus a declared wire size.
+/// All workloads in this repo (TPC-C, Instacart-like, flight booking) encode
+/// their columns into int64 fields; `wire_bytes` preserves the real payload
+/// size for the network cost model.
+class Record {
+ public:
+  Record() = default;
+  explicit Record(size_t num_fields, size_t wire_bytes = 0)
+      : fields_(num_fields, 0),
+        wire_bytes_(wire_bytes == 0 ? num_fields * 8 : wire_bytes) {}
+
+  int64_t Get(size_t i) const {
+    CHILLER_DCHECK(i < fields_.size());
+    return fields_[i];
+  }
+  void Set(size_t i, int64_t v) {
+    CHILLER_DCHECK(i < fields_.size());
+    fields_[i] = v;
+  }
+  void Add(size_t i, int64_t delta) { Set(i, Get(i) + delta); }
+
+  size_t num_fields() const { return fields_.size(); }
+  size_t wire_bytes() const { return wire_bytes_; }
+
+  const std::vector<int64_t>& fields() const { return fields_; }
+  std::vector<int64_t>& mutable_fields() { return fields_; }
+
+ private:
+  std::vector<int64_t> fields_;
+  size_t wire_bytes_ = 0;
+};
+
+/// Static description of one table.
+struct TableSpec {
+  std::string name;
+  uint16_t id = 0;
+  size_t num_fields = 1;
+  /// Serialized record size for the network model (0 = 8 * num_fields).
+  size_t wire_bytes = 0;
+  /// Buckets per partition; keys hash onto buckets, whose embedded lock is
+  /// the unit of locking (Section 6).
+  size_t buckets_per_partition = 1 << 12;
+};
+
+}  // namespace chiller::storage
+
+#endif  // CHILLER_STORAGE_RECORD_H_

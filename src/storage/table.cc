@@ -1,0 +1,58 @@
+#include "storage/table.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace chiller::storage {
+
+namespace {
+// SplitMix64 finalizer: spreads sequential keys across buckets.
+size_t HashKey(Key key) {
+  uint64_t x = key;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x);
+}
+}  // namespace
+
+Table::Table(TableSpec spec) : spec_(std::move(spec)) {
+  CHILLER_CHECK(spec_.buckets_per_partition > 0);
+  buckets_.resize(spec_.buckets_per_partition);
+}
+
+size_t Table::BucketIndex(Key key) const {
+  return HashKey(key) % buckets_.size();
+}
+
+Bucket* Table::BucketFor(Key key) { return &buckets_[BucketIndex(key)]; }
+
+const Bucket* Table::BucketFor(Key key) const {
+  return &buckets_[BucketIndex(key)];
+}
+
+Bucket* Table::BucketAt(size_t index) {
+  CHILLER_DCHECK(index < buckets_.size());
+  return &buckets_[index];
+}
+
+Record* Table::Find(Key key) { return BucketFor(key)->Find(key); }
+
+Status Table::Insert(Key key, Record record) {
+  if (!BucketFor(key)->Insert(key, std::move(record))) {
+    return Status::FailedPrecondition("duplicate key");
+  }
+  ++num_records_;
+  return Status::OK();
+}
+
+Status Table::Erase(Key key) {
+  if (!BucketFor(key)->Erase(key)) return Status::NotFound();
+  --num_records_;
+  return Status::OK();
+}
+
+}  // namespace chiller::storage

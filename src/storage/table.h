@@ -1,0 +1,58 @@
+// A table: an array of lock-carrying buckets within one partition.
+#ifndef CHILLER_STORAGE_TABLE_H_
+#define CHILLER_STORAGE_TABLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/bucket.h"
+#include "storage/record.h"
+
+namespace chiller::storage {
+
+/// Per-partition slice of one logical table. Keys hash onto a fixed array of
+/// buckets; the bucket's embedded lock word is the locking granule, so two
+/// keys colliding into one bucket contend (as in the real system — size
+/// buckets_per_partition accordingly).
+class Table {
+ public:
+  explicit Table(TableSpec spec);
+
+  const TableSpec& spec() const { return spec_; }
+
+  /// The bucket that owns `key` (never null).
+  Bucket* BucketFor(Key key);
+  const Bucket* BucketFor(Key key) const;
+
+  /// Index of the owning bucket — the "remote address" a one-sided op needs.
+  size_t BucketIndex(Key key) const;
+  Bucket* BucketAt(size_t index);
+
+  /// Looks up a record; does not touch locks.
+  Record* Find(Key key);
+
+  /// Inserts a record. Fails with FailedPrecondition on duplicate key.
+  Status Insert(Key key, Record record);
+
+  /// Removes a record. Fails with NotFound if absent.
+  Status Erase(Key key);
+
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t num_records() const { return num_records_; }
+
+  /// Visits every (key, record) in the table (order unspecified).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& b : buckets_) b.ForEach(fn);
+  }
+
+ private:
+  TableSpec spec_;
+  std::vector<Bucket> buckets_;
+  size_t num_records_ = 0;
+};
+
+}  // namespace chiller::storage
+
+#endif  // CHILLER_STORAGE_TABLE_H_

@@ -1,0 +1,4 @@
+#include "txn/operation.h"
+
+// Operation is header-only; this TU anchors the module in the build.
+namespace chiller::txn {}

@@ -1,0 +1,75 @@
+#include "workload/tpcc/tpcc_gen.h"
+
+namespace chiller::workload::tpcc {
+
+namespace {
+// Fixed C constants (clause 2.1.6.1 allows any constant per run).
+constexpr uint64_t kCLast = 173;
+constexpr uint64_t kCCust = 319;
+constexpr uint64_t kCItem = 3849;
+}  // namespace
+
+uint64_t NURand(Rng* rng, uint64_t a, uint64_t x, uint64_t y) {
+  const uint64_t c = a == 1023 ? kCCust : (a == 8191 ? kCItem : kCLast);
+  const uint64_t r1 = rng->UniformRange(0, a);
+  const uint64_t r2 = rng->UniformRange(x, y);
+  return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+// NURand A constants scaled with the table sizes to keep the spec's
+// A/range skew ratio (1023/3000 and 8191/100000 respectively).
+uint64_t RandomCustomer(Rng* rng) {
+  return NURand(rng, 255, 0, kCustomersPerDistrict - 1);
+}
+
+uint64_t RandomItem(Rng* rng) { return NURand(rng, 511, 0, kItemCount - 1); }
+
+void PopulateTpcc(
+    uint32_t num_warehouses,
+    const std::function<void(const RecordId&, const storage::Record&)>& load,
+    const std::function<void(const RecordId&, const storage::Record&)>&
+        load_replicated) {
+  Rng rng(0xC0FFEE);
+
+  for (uint64_t i = 0; i < kItemCount; ++i) {
+    storage::Record item(1, 88);
+    item.Set(ItemF::kPrice, 100 + static_cast<int64_t>(i % 9900));
+    load_replicated(RecordId{kItem, ItemKey(i)}, item);
+  }
+
+  for (uint64_t w = 0; w < num_warehouses; ++w) {
+    storage::Record wh(2, 96);
+    wh.Set(WarehouseF::kYtd, 0);
+    wh.Set(WarehouseF::kTax, static_cast<int64_t>(rng.Uniform(2000)));
+    load(RecordId{kWarehouse, WarehouseKey(w)}, wh);
+
+    for (uint64_t d = 0; d < kDistrictsPerWarehouse; ++d) {
+      storage::Record dist(3, 112);
+      dist.Set(DistrictF::kYtd, 0);
+      dist.Set(DistrictF::kTax, static_cast<int64_t>(rng.Uniform(2000)));
+      dist.Set(DistrictF::kNextOid, 1);
+      load(RecordId{kDistrict, DistrictKey(w, d)}, dist);
+
+      for (uint64_t c = 0; c < kCustomersPerDistrict; ++c) {
+        storage::Record cust(4, 672);
+        cust.Set(CustomerF::kBalance, -1000);  // spec: C_BALANCE = -10.00
+        cust.Set(CustomerF::kYtdPayment, 1000);
+        cust.Set(CustomerF::kPaymentCnt, 1);
+        cust.Set(CustomerF::kDeliveryCnt, 0);
+        load(RecordId{kCustomer, CustomerKey(w, d, c)}, cust);
+      }
+    }
+
+    for (uint64_t i = 0; i < kItemCount; ++i) {
+      storage::Record stock(4, 320);
+      stock.Set(StockF::kQuantity,
+                static_cast<int64_t>(rng.UniformRange(10, 100)));
+      stock.Set(StockF::kYtd, 0);
+      stock.Set(StockF::kOrderCnt, 0);
+      stock.Set(StockF::kRemoteCnt, 0);
+      load(RecordId{kStock, StockKey(w, i)}, stock);
+    }
+  }
+}
+
+}  // namespace chiller::workload::tpcc

@@ -1,0 +1,35 @@
+// TPC-C data population and spec-conformant random input generation.
+#ifndef CHILLER_WORKLOAD_TPCC_TPCC_GEN_H_
+#define CHILLER_WORKLOAD_TPCC_TPCC_GEN_H_
+
+#include <functional>
+
+#include "common/random.h"
+#include "storage/record.h"
+#include "workload/tpcc/tpcc_schema.h"
+
+namespace chiller::workload::tpcc {
+
+/// The non-uniform random function of TPC-C clause 2.1.6:
+/// NURand(A, x, y) = (((rand(0,A) | rand(x,y)) + C) % (y - x + 1)) + x.
+uint64_t NURand(Rng* rng, uint64_t a, uint64_t x, uint64_t y);
+
+/// Spec helpers: customer id (NURand 1023) and item id (NURand 8191),
+/// both 0-based here.
+uint64_t RandomCustomer(Rng* rng);
+uint64_t RandomItem(Rng* rng);
+
+/// Populates initial records for `num_warehouses` warehouses. Emits every
+/// partitioned record through `load` and every ITEM record through
+/// `load_replicated` (ITEM lives on every partition). Order-family tables
+/// start empty; Delivery and StockLevel tolerate missing rows via skip
+/// groups, so no 3000-order preload is required.
+void PopulateTpcc(
+    uint32_t num_warehouses,
+    const std::function<void(const RecordId&, const storage::Record&)>& load,
+    const std::function<void(const RecordId&, const storage::Record&)>&
+        load_replicated);
+
+}  // namespace chiller::workload::tpcc
+
+#endif  // CHILLER_WORKLOAD_TPCC_TPCC_GEN_H_

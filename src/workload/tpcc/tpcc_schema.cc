@@ -1,0 +1,35 @@
+#include "workload/tpcc/tpcc_schema.h"
+
+namespace chiller::workload::tpcc {
+
+std::vector<storage::TableSpec> Schema(uint32_t warehouses_per_partition) {
+  const uint32_t w = warehouses_per_partition;
+  // Bucket counts sized ~2x the expected records per partition so bucket
+  // collisions (false lock sharing) stay rare, matching a well-configured
+  // deployment. Order-family tables grow at run time; give them headroom.
+  return {
+      {.name = "warehouse", .id = kWarehouse, .num_fields = 2,
+       .wire_bytes = 96, .buckets_per_partition = std::max(2 * w, 4u)},
+      {.name = "district", .id = kDistrict, .num_fields = 3,
+       .wire_bytes = 112, .buckets_per_partition = 2 * w *
+                                                    kDistrictsPerWarehouse},
+      {.name = "customer", .id = kCustomer, .num_fields = 4,
+       .wire_bytes = 672,
+       .buckets_per_partition =
+           2 * w * kDistrictsPerWarehouse * kCustomersPerDistrict},
+      {.name = "history", .id = kHistory, .num_fields = 1, .wire_bytes = 48,
+       .buckets_per_partition = 1u << 13},
+      {.name = "neworder", .id = kNewOrder, .num_fields = 1, .wire_bytes = 12,
+       .buckets_per_partition = 1u << 12},
+      {.name = "order", .id = kOrder, .num_fields = 3, .wire_bytes = 32,
+       .buckets_per_partition = 1u << 13},
+      {.name = "orderline", .id = kOrderLine, .num_fields = 4,
+       .wire_bytes = 56, .buckets_per_partition = 1u << 15},
+      {.name = "stock", .id = kStock, .num_fields = 4, .wire_bytes = 320,
+       .buckets_per_partition = 2 * w * kItemCount},
+      {.name = "item", .id = kItem, .num_fields = 1, .wire_bytes = 88,
+       .buckets_per_partition = 2 * kItemCount},
+  };
+}
+
+}  // namespace chiller::workload::tpcc

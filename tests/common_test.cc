@@ -1,0 +1,239 @@
+// Unit tests for src/common: Status, Rng, Zipf/Alias samplers, Histogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "common/zipf.h"
+
+namespace chiller {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndPredicates) {
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::FailedPrecondition().IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+  EXPECT_FALSE(Status::Aborted().ok());
+}
+
+TEST(StatusTest, MessageInToString) {
+  EXPECT_EQ(Status::Aborted("lock conflict").ToString(),
+            "Aborted: lock conflict");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST(RecordIdTest, OrderingAndEquality) {
+  RecordId a{1, 5}, b{1, 6}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (RecordId{1, 5}));
+  EXPECT_NE(a, b);
+}
+
+TEST(RecordIdTest, HashSpreadsKeys) {
+  std::set<size_t> hashes;
+  for (Key k = 0; k < 1000; ++k) hashes.insert(RecordIdHash{}(RecordId{0, k}));
+  EXPECT_GT(hashes.size(), 990u);  // essentially no collisions
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += (rng.Weighted(w) == 1);
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator z(10, 0.0);
+  Rng rng(23);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.Next(&rng)];
+  for (const auto& [rank, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02) << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, SkewMatchesPmf) {
+  const double theta = 0.9;
+  ZipfGenerator z(1000, theta);
+  Rng rng(29);
+  std::map<uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.Next(&rng)];
+  // Rank 0 must be the most frequent and close to its analytic mass.
+  const double p0 = static_cast<double>(counts[0]) / n;
+  EXPECT_NEAR(p0, z.Pmf(0), 0.03);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(ZipfTest, RanksInRange) {
+  ZipfGenerator z(50, 0.99);
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Next(&rng), 50u);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfGenerator z(100, 0.5);
+  double sum = 0;
+  for (uint64_t r = 0; r < 100; ++r) sum += z.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  std::vector<double> w = {0.1, 0.2, 0.3, 0.4};
+  AliasSampler sampler(w);
+  Rng rng(37);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Next(&rng)];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, w[i], 0.01);
+  }
+}
+
+TEST(AliasSamplerTest, HandlesZeros) {
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  AliasSampler sampler(w);
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.Next(&rng), 1u);
+}
+
+TEST(AliasSamplerTest, HeavySkew) {
+  std::vector<double> w(100, 1.0);
+  w[0] = 10000.0;
+  AliasSampler sampler(w);
+  Rng rng(43);
+  int zeros = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) zeros += (sampler.Next(&rng) == 0);
+  EXPECT_GT(static_cast<double>(zeros) / n, 0.95);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  for (uint64_t v = 0; v < 32; ++v) h.Add(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_NEAR(h.Mean(), 15.5, 1e-9);
+}
+
+TEST(HistogramTest, PercentileWithinRelativeError) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100000; ++v) h.Add(v);
+  const uint64_t p50 = h.Percentile(50);
+  const uint64_t p99 = h.Percentile(99);
+  EXPECT_NEAR(static_cast<double>(p50), 50000.0, 50000.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(p99), 99000.0, 99000.0 * 0.05);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.Add(1ull << 62);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 1ull << 62);
+  EXPECT_GE(h.Percentile(100), (1ull << 62) / 2);
+}
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_NEAR(s.Mean(), 5.0, 1e-9);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace chiller

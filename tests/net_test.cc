@@ -1,0 +1,198 @@
+// Unit tests for the RDMA-class network model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "net/rdma.h"
+#include "net/rpc.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace chiller::net {
+namespace {
+
+NetworkConfig TestConfig() {
+  NetworkConfig cfg;
+  cfg.propagation = 900;
+  cfg.nic_process = 250;
+  cfg.per_byte = 0.0;  // size-independent for exact-latency tests
+  cfg.post_cost = 100;
+  cfg.recv_cost = 200;
+  return cfg;
+}
+
+TEST(TopologyTest, EngineNodeMapping) {
+  Topology t{.num_nodes = 4, .engines_per_node = 10};
+  EXPECT_EQ(t.num_engines(), 40u);
+  EXPECT_EQ(t.NodeOfEngine(0), 0u);
+  EXPECT_EQ(t.NodeOfEngine(9), 0u);
+  EXPECT_EQ(t.NodeOfEngine(10), 1u);
+  EXPECT_EQ(t.NodeOfEngine(39), 3u);
+  EXPECT_EQ(t.EngineOfPartition(17), 17u);
+}
+
+TEST(TopologyTest, ReplicaOnDistinctNode) {
+  Topology t{.num_nodes = 4, .engines_per_node = 2, .replication_degree = 3};
+  for (PartitionId p = 0; p < t.num_partitions(); ++p) {
+    const NodeId primary = t.NodeOfPartition(p);
+    for (uint32_t i = 1; i < t.replication_degree; ++i) {
+      EXPECT_NE(t.NodeOfEngine(t.ReplicaEngine(p, i)), primary);
+    }
+  }
+}
+
+TEST(TopologyTest, ReplicasOnDistinctNodesFromEachOther) {
+  Topology t{.num_nodes = 5, .engines_per_node = 1, .replication_degree = 3};
+  for (PartitionId p = 0; p < t.num_partitions(); ++p) {
+    const NodeId r1 = t.NodeOfEngine(t.ReplicaEngine(p, 1));
+    const NodeId r2 = t.NodeOfEngine(t.ReplicaEngine(p, 2));
+    EXPECT_NE(r1, r2);
+  }
+}
+
+TEST(NetworkTest, OneWayLatency) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig(), 2);
+  SimTime arrival = 0;
+  net.Deliver(0, 1, 0, [&] { arrival = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(arrival, 1150u);  // propagation + nic_process
+}
+
+TEST(NetworkTest, PayloadAddsTransmission) {
+  sim::Simulator sim;
+  NetworkConfig cfg = TestConfig();
+  cfg.per_byte = 1.0;
+  Network net(&sim, cfg, 2);
+  SimTime arrival = 0;
+  net.Deliver(0, 1, 100, [&] { arrival = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(arrival, 1250u);
+}
+
+TEST(NetworkTest, InOrderPerQueuePair) {
+  // A small message sent after a huge one must NOT overtake it — RDMA
+  // reliable connections are FIFO. The Section 5 replication protocol
+  // depends on this property.
+  sim::Simulator sim;
+  NetworkConfig cfg = TestConfig();
+  cfg.per_byte = 10.0;
+  Network net(&sim, cfg, 2);
+  std::vector<int> order;
+  net.Deliver(0, 1, 10000, [&] { order.push_back(1); });
+  net.Deliver(0, 1, 0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(NetworkTest, DistinctPairsDontBlock) {
+  sim::Simulator sim;
+  NetworkConfig cfg = TestConfig();
+  cfg.per_byte = 10.0;
+  Network net(&sim, cfg, 3);
+  std::vector<int> order;
+  net.Deliver(0, 1, 10000, [&] { order.push_back(1); });
+  net.Deliver(2, 1, 0, [&] { order.push_back(2); });
+  sim.Run();
+  // The (2,1) pair is unaffected by the backlog on (0,1).
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(NetworkTest, CountsTraffic) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig(), 2);
+  net.Deliver(0, 1, 100, [] {});
+  net.Deliver(1, 0, 50, [] {});
+  sim.Run();
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 150u);
+}
+
+TEST(RdmaTest, OneSidedRoundTrip) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig(), 2);
+  Topology topo{.num_nodes = 2, .engines_per_node = 1};
+  RdmaFabric rdma(&sim, &net, topo);
+  SimTime remote_at = 0, completion_at = 0;
+  rdma.OneSided(
+      0, 1, 0, 0, [&] { remote_at = sim.now(); },
+      [&] { completion_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(remote_at, 1150u);
+  EXPECT_EQ(completion_at, 2300u);  // full round trip
+}
+
+TEST(RdmaTest, InitiatorCpuChargedForPost) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig(), 2);
+  Topology topo{.num_nodes = 2, .engines_per_node = 1};
+  RdmaFabric rdma(&sim, &net, topo);
+  sim::CpuResource cpu(&sim);
+  cpu.Submit(1000, [] {});  // busy engine delays the verb post
+  SimTime completion_at = 0;
+  rdma.OneSided(0, 1, 0, 0, [] {}, [&] { completion_at = sim.now(); }, &cpu);
+  sim.Run();
+  // post waits until 1000, +100 post cost, +2300 round trip
+  EXPECT_EQ(completion_at, 3400u);
+}
+
+TEST(RdmaTest, RemoteOpBypassesRemoteCpu) {
+  // One-sided ops never consume the remote engine's CPU: a saturated remote
+  // engine does not delay them.
+  sim::Simulator sim;
+  Network net(&sim, TestConfig(), 2);
+  Topology topo{.num_nodes = 2, .engines_per_node = 1};
+  RdmaFabric rdma(&sim, &net, topo);
+  sim::CpuResource remote_cpu(&sim);
+  remote_cpu.Submit(1000000, [] {});  // remote engine busy for 1 ms
+  SimTime completion_at = 0;
+  rdma.OneSided(0, 1, 0, 0, [] {}, [&] { completion_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(completion_at, 2300u);
+}
+
+TEST(RpcTest, HandlerRunsOnDestinationCpu) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig(), 2);
+  Topology topo{.num_nodes = 2, .engines_per_node = 1};
+  RpcLayer rpc(&sim, &net, topo);
+  sim::CpuResource cpu0(&sim), cpu1(&sim);
+  rpc.BindEngines({&cpu0, &cpu1});
+  SimTime handled_at = 0;
+  rpc.Send(0, 1, 0, 500, [&] { handled_at = sim.now(); });
+  sim.Run();
+  // post(100) + one-way(1150) + recv(200) + service(500)
+  EXPECT_EQ(handled_at, 1950u);
+}
+
+TEST(RpcTest, BusyDestinationQueues) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig(), 2);
+  Topology topo{.num_nodes = 2, .engines_per_node = 1};
+  RpcLayer rpc(&sim, &net, topo);
+  sim::CpuResource cpu0(&sim), cpu1(&sim);
+  rpc.BindEngines({&cpu0, &cpu1});
+  cpu1.Submit(10000, [] {});
+  SimTime handled_at = 0;
+  rpc.Send(0, 1, 0, 500, [&] { handled_at = sim.now(); });
+  sim.Run();
+  // Unlike one-sided ops, the RPC waits for the remote CPU: 10000 + 700.
+  EXPECT_EQ(handled_at, 10700u);
+}
+
+TEST(RpcTest, CountsRpcs) {
+  sim::Simulator sim;
+  Network net(&sim, TestConfig(), 2);
+  Topology topo{.num_nodes = 2, .engines_per_node = 1};
+  RpcLayer rpc(&sim, &net, topo);
+  sim::CpuResource cpu0(&sim), cpu1(&sim);
+  rpc.BindEngines({&cpu0, &cpu1});
+  rpc.Send(0, 1, 0, 0, [] {});
+  rpc.Send(1, 0, 0, 0, [] {});
+  sim.Run();
+  EXPECT_EQ(rpc.rpcs_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace chiller::net

@@ -1,0 +1,154 @@
+// Tests for the replication protocols of paper Section 5, most importantly
+// the inner-region scheme of Figure 6: the inner host streams updates to
+// its replicas and moves on WITHOUT waiting; the replicas acknowledge the
+// COORDINATOR; correctness rests on per-queue-pair FIFO delivery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cc/cluster.h"
+#include "cc/replication.h"
+#include "chiller/two_region.h"
+#include "workload/flight.h"
+
+namespace chiller {
+namespace {
+
+using cc::ReplUpdate;
+
+struct ReplEnv {
+  std::unique_ptr<cc::Cluster> cluster;
+  std::unique_ptr<cc::ReplicationManager> repl;
+};
+
+ReplEnv MakeEnv(uint32_t nodes, uint32_t replication) {
+  ReplEnv env;
+  cc::ClusterConfig cfg;
+  cfg.topology = net::Topology{.num_nodes = nodes,
+                               .engines_per_node = 1,
+                               .replication_degree = replication};
+  cfg.schema = {storage::TableSpec{.name = "t", .id = 0, .num_fields = 1,
+                                   .buckets_per_partition = 64}};
+  env.cluster = std::make_unique<cc::Cluster>(cfg);
+  env.repl = std::make_unique<cc::ReplicationManager>(env.cluster.get());
+  return env;
+}
+
+ReplUpdate Put(Key k, int64_t v) {
+  ReplUpdate u;
+  u.kind = ReplUpdate::Kind::kPut;
+  u.rid = RecordId{0, k};
+  u.image = storage::Record(1);
+  u.image.Set(0, v);
+  return u;
+}
+
+TEST(ReplicationTest, UpdatesReachEveryReplica) {
+  ReplEnv env = MakeEnv(3, 3);
+  bool done = false;
+  env.repl->Replicate(0, 0, {Put(1, 42), Put(2, 7)}, 0, [&] { done = true; });
+  env.cluster->sim()->Run();
+  ASSERT_TRUE(done);
+  for (uint32_t r = 1; r < 3; ++r) {
+    auto* store = env.cluster->replica(0, r);
+    ASSERT_NE(store->Find({0, 1}), nullptr);
+    EXPECT_EQ(store->Find({0, 1})->Get(0), 42);
+    EXPECT_EQ(store->Find({0, 2})->Get(0), 7);
+  }
+}
+
+TEST(ReplicationTest, AckGoesToCoordinatorNotSender) {
+  // Figure 6: the inner host (engine 1) streams; the coordinator (engine 0)
+  // receives the acknowledgements. The coordinator may continue only after
+  // one full one-way trip host->replica plus one replica->coordinator trip.
+  ReplEnv env = MakeEnv(3, 2);
+  const net::Topology& topo = env.cluster->topology();
+  const EngineId inner_host = 1;
+  const EngineId coordinator = 0;
+  const EngineId replica_engine = topo.ReplicaEngine(1, 1);
+  ASSERT_NE(topo.NodeOfEngine(replica_engine), topo.NodeOfEngine(inner_host));
+
+  SimTime acked_at = 0;
+  env.repl->Replicate(inner_host, 1, {Put(5, 1)}, coordinator,
+                      [&] { acked_at = env.cluster->sim()->now(); });
+  env.cluster->sim()->Run();
+  ASSERT_GT(acked_at, 0u);
+  // Lower bound: two one-way network trips (host->replica, replica->coord).
+  const SimTime two_trips = 2 * env.cluster->config().network.OneWay(0);
+  EXPECT_GT(acked_at, two_trips);
+}
+
+TEST(ReplicationTest, SenderDoesNotWait) {
+  // The inner host's side of Replicate returns control immediately: no
+  // event at the sender depends on the acks (fire-and-continue). We assert
+  // the sender engine's CPU is idle right after the call.
+  ReplEnv env = MakeEnv(3, 2);
+  env.repl->Replicate(1, 1, {Put(5, 1)}, 0, [] {});
+  // The send consumed only the RPC post cost at engine 1.
+  EXPECT_LE(env.cluster->engine(1)->cpu()->busy_until(),
+            env.cluster->config().network.post_cost);
+  env.cluster->sim()->Run();
+}
+
+TEST(ReplicationTest, FifoStreamsApplyInOrder) {
+  // Two batches updating the same record: the second must win at every
+  // replica, because queue pairs are FIFO (Section 5's correctness
+  // argument; "it cannot happen that any update gets lost or overwritten
+  // while its subsequent updates have been applied").
+  ReplEnv env = MakeEnv(3, 3);
+  int acks = 0;
+  env.repl->Replicate(0, 0, {Put(1, 111)}, 0, [&] { ++acks; });
+  env.repl->Replicate(0, 0, {Put(1, 222)}, 0, [&] { ++acks; });
+  env.cluster->sim()->Run();
+  EXPECT_EQ(acks, 2);
+  for (uint32_t r = 1; r < 3; ++r) {
+    EXPECT_EQ(env.cluster->replica(0, r)->Find({0, 1})->Get(0), 222);
+  }
+}
+
+TEST(ReplicationTest, ManyInterleavedStreamsConverge) {
+  ReplEnv env = MakeEnv(4, 2);
+  // Partition 2's primary streams 50 ordered updates; interleave with
+  // streams to other partitions to stress queue-pair independence.
+  for (int i = 1; i <= 50; ++i) {
+    env.repl->Replicate(2, 2, {Put(9, i)}, 0, [] {});
+    env.repl->Replicate(1, 1, {Put(9, i * 1000)}, 0, [] {});
+  }
+  env.cluster->sim()->Run();
+  EXPECT_EQ(env.cluster->replica(2, 1)->Find({0, 9})->Get(0), 50);
+  EXPECT_EQ(env.cluster->replica(1, 1)->Find({0, 9})->Get(0), 50000);
+}
+
+TEST(ReplicationTest, EraseStreamsApply) {
+  ReplEnv env = MakeEnv(3, 2);
+  bool done = false;
+  env.repl->Replicate(0, 0, {Put(3, 1)}, 0, [] {});
+  ReplUpdate erase;
+  erase.kind = ReplUpdate::Kind::kErase;
+  erase.rid = RecordId{0, 3};
+  env.repl->Replicate(0, 0, {erase}, 0, [&] { done = true; });
+  env.cluster->sim()->Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(env.cluster->replica(0, 1)->Find({0, 3}), nullptr);
+}
+
+TEST(ReplicationTest, ZeroReplicasCompletesImmediately) {
+  ReplEnv env = MakeEnv(2, 1);
+  bool done = false;
+  env.repl->Replicate(0, 0, {Put(1, 5)}, 0, [&] { done = true; });
+  env.cluster->sim()->Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(env.repl->batches_sent(), 0u);
+}
+
+TEST(ReplicationTest, BatchCounting) {
+  ReplEnv env = MakeEnv(3, 2);
+  env.repl->Replicate(0, 0, {Put(1, 1)}, 0, [] {});
+  env.repl->Replicate(1, 1, {Put(2, 2)}, 0, [] {});
+  env.cluster->sim()->Run();
+  EXPECT_EQ(env.repl->batches_sent(), 2u);
+}
+
+}  // namespace
+}  // namespace chiller

@@ -1,0 +1,165 @@
+// Unit tests for the discrete-event simulator substrate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu_resource.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace chiller::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoAtSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  EXPECT_EQ(q.NextTime(), kSimTimeNever);
+  q.Push(42, [] {});
+  q.Push(7, [] {});
+  EXPECT_EQ(q.NextTime(), 7u);
+}
+
+TEST(EventQueueTest, SlotReuseAfterPop) {
+  EventQueue q;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) q.Push(i, [] {});
+    while (!q.empty()) q.Pop();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SimulatorTest, TimeAdvancesMonotonically) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(100, [&] { times.push_back(sim.now()); });
+  sim.Schedule(50, [&] {
+    times.push_back(sim.now());
+    sim.Schedule(25, [&] { times.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{50, 75, 100}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(20, [&] { ++fired; });
+  sim.Schedule(30, [&] { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  bool ran = false;
+  sim.Schedule(10, [&] {
+    sim.Schedule(0, [&] {
+      ran = true;
+      EXPECT_EQ(sim.now(), 10u);
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, ClearDropsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Clear();
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, EventCountTracked) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.Schedule(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(SimulatorTest, DeterministicReplay) {
+  auto run = []() {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      sim.Schedule((i * 7) % 13, [&order, i] { order.push_back(i); });
+    }
+    sim.Run();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CpuResourceTest, SerialExecution) {
+  Simulator sim;
+  CpuResource cpu(&sim);
+  std::vector<SimTime> done_at;
+  cpu.Submit(100, [&] { done_at.push_back(sim.now()); });
+  cpu.Submit(50, [&] { done_at.push_back(sim.now()); });
+  sim.Run();
+  // Second item queues behind the first: 100, then 150.
+  EXPECT_EQ(done_at, (std::vector<SimTime>{100, 150}));
+}
+
+TEST(CpuResourceTest, IdleGapThenWork) {
+  Simulator sim;
+  CpuResource cpu(&sim);
+  std::vector<SimTime> done_at;
+  cpu.Submit(10, [&] { done_at.push_back(sim.now()); });
+  sim.Schedule(1000, [&] {
+    cpu.Submit(10, [&] { done_at.push_back(sim.now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(done_at, (std::vector<SimTime>{10, 1010}));
+}
+
+TEST(CpuResourceTest, UtilizationAccounting) {
+  Simulator sim;
+  CpuResource cpu(&sim);
+  cpu.Submit(300, [] {});
+  sim.Run();
+  sim.RunUntil(1000);
+  EXPECT_DOUBLE_EQ(cpu.Utilization(), 0.3);
+  EXPECT_EQ(cpu.total_busy(), 300u);
+}
+
+TEST(CpuResourceTest, SaturationModel) {
+  // Offered load beyond capacity: completion rate pinned to CPU capacity —
+  // the mechanism behind the Figure 9a throughput plateau.
+  Simulator sim;
+  CpuResource cpu(&sim);
+  int completed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    cpu.Submit(100, [&] { ++completed; });
+  }
+  sim.RunUntil(10000);
+  EXPECT_EQ(completed, 100);  // 10000 ns / 100 ns each
+}
+
+}  // namespace
+}  // namespace chiller::sim

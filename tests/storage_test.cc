@@ -1,0 +1,198 @@
+// Unit tests for the storage substrate: lock words, buckets, tables, stores.
+#include <gtest/gtest.h>
+
+#include "storage/bucket.h"
+#include "storage/lock_word.h"
+#include "storage/partition_store.h"
+#include "storage/record.h"
+#include "storage/table.h"
+
+namespace chiller::storage {
+namespace {
+
+TEST(LockWordTest, FreshWordIsFree) {
+  uint64_t w = LockWord::MakeFree(0);
+  EXPECT_TRUE(LockWord::IsFree(w));
+  EXPECT_FALSE(LockWord::IsExclusive(w));
+  EXPECT_EQ(LockWord::SharedCount(w), 0u);
+  EXPECT_EQ(LockWord::Version(w), 0u);
+}
+
+TEST(LockWordTest, SharedAcquireRelease) {
+  uint64_t w = LockWord::MakeFree(5);
+  EXPECT_TRUE(LockWord::TryAcquireShared(&w));
+  EXPECT_TRUE(LockWord::TryAcquireShared(&w));
+  EXPECT_EQ(LockWord::SharedCount(w), 2u);
+  EXPECT_EQ(LockWord::Version(w), 5u);
+  LockWord::ReleaseShared(&w);
+  LockWord::ReleaseShared(&w);
+  EXPECT_TRUE(LockWord::IsFree(w));
+  EXPECT_EQ(LockWord::Version(w), 5u);  // shared release never bumps
+}
+
+TEST(LockWordTest, ExclusiveBlocksEverything) {
+  uint64_t w = LockWord::MakeFree(0);
+  EXPECT_TRUE(LockWord::TryAcquireExclusive(&w));
+  EXPECT_FALSE(LockWord::TryAcquireExclusive(&w));
+  EXPECT_FALSE(LockWord::TryAcquireShared(&w));
+}
+
+TEST(LockWordTest, SharedBlocksExclusive) {
+  uint64_t w = LockWord::MakeFree(0);
+  EXPECT_TRUE(LockWord::TryAcquireShared(&w));
+  EXPECT_FALSE(LockWord::TryAcquireExclusive(&w));
+}
+
+TEST(LockWordTest, VersionBumpOnModifiedRelease) {
+  uint64_t w = LockWord::MakeFree(7);
+  ASSERT_TRUE(LockWord::TryAcquireExclusive(&w));
+  LockWord::ReleaseExclusive(&w, /*modified=*/true);
+  EXPECT_EQ(LockWord::Version(w), 8u);
+  ASSERT_TRUE(LockWord::TryAcquireExclusive(&w));
+  LockWord::ReleaseExclusive(&w, /*modified=*/false);
+  EXPECT_EQ(LockWord::Version(w), 8u);
+}
+
+TEST(LockWordTest, VersionWrapsAt48Bits) {
+  uint64_t w = LockWord::MakeFree(LockWord::kVersionMask);
+  ASSERT_TRUE(LockWord::TryAcquireExclusive(&w));
+  LockWord::ReleaseExclusive(&w, true);
+  EXPECT_EQ(LockWord::Version(w), 0u);
+  EXPECT_TRUE(LockWord::IsFree(w));
+}
+
+TEST(LockWordTest, ManySharedHolders) {
+  uint64_t w = LockWord::MakeFree(0);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(LockWord::TryAcquireShared(&w));
+  EXPECT_EQ(LockWord::SharedCount(w), 1000u);
+  for (int i = 0; i < 1000; ++i) LockWord::ReleaseShared(&w);
+  EXPECT_TRUE(LockWord::IsFree(w));
+}
+
+TEST(RecordTest, FieldsRoundTrip) {
+  Record r(4);
+  r.Set(0, 42);
+  r.Set(3, -7);
+  r.Add(0, 8);
+  EXPECT_EQ(r.Get(0), 50);
+  EXPECT_EQ(r.Get(3), -7);
+  EXPECT_EQ(r.num_fields(), 4u);
+  EXPECT_EQ(r.wire_bytes(), 32u);
+}
+
+TEST(RecordTest, ExplicitWireSize) {
+  Record r(2, 300);
+  EXPECT_EQ(r.wire_bytes(), 300u);
+}
+
+TEST(BucketTest, InsertFindErase) {
+  Bucket b;
+  EXPECT_TRUE(b.Insert(1, Record(2)));
+  EXPECT_TRUE(b.Insert(2, Record(2)));
+  EXPECT_FALSE(b.Insert(1, Record(2)));  // duplicate
+  ASSERT_NE(b.Find(1), nullptr);
+  EXPECT_EQ(b.Find(3), nullptr);
+  EXPECT_TRUE(b.Erase(1));
+  EXPECT_FALSE(b.Erase(1));
+  EXPECT_EQ(b.num_records(), 1u);
+}
+
+TEST(BucketTest, LockInterface) {
+  Bucket b;
+  EXPECT_TRUE(b.TryLockExclusive());
+  EXPECT_FALSE(b.TryLockShared());
+  b.UnlockExclusive(/*modified=*/true);
+  EXPECT_EQ(b.version(), 1u);
+  EXPECT_TRUE(b.TryLockShared());
+  b.UnlockShared();
+}
+
+TEST(TableTest, BucketStableForKey) {
+  Table t(TableSpec{.name = "x", .id = 0, .num_fields = 1,
+                    .buckets_per_partition = 64});
+  for (Key k = 0; k < 100; ++k) {
+    EXPECT_EQ(t.BucketIndex(k), t.BucketIndex(k));
+    EXPECT_LT(t.BucketIndex(k), 64u);
+  }
+}
+
+TEST(TableTest, InsertAndFind) {
+  Table t(TableSpec{.name = "x", .id = 0, .num_fields = 2,
+                    .buckets_per_partition = 16});
+  for (Key k = 0; k < 100; ++k) {
+    Record r(2);
+    r.Set(0, static_cast<int64_t>(k) * 10);
+    ASSERT_TRUE(t.Insert(k, r).ok());
+  }
+  EXPECT_EQ(t.num_records(), 100u);
+  for (Key k = 0; k < 100; ++k) {
+    Record* r = t.Find(k);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->Get(0), static_cast<int64_t>(k) * 10);
+  }
+  EXPECT_TRUE(t.Insert(5, Record(2)).IsFailedPrecondition());
+  EXPECT_TRUE(t.Erase(5).ok());
+  EXPECT_TRUE(t.Erase(5).IsNotFound());
+  EXPECT_EQ(t.num_records(), 99u);
+}
+
+TEST(TableTest, OverflowSharesBucketLock) {
+  // Two keys in the same bucket share one lock: locking one blocks the other
+  // (bucket-granularity locking, Section 6).
+  Table t(TableSpec{.name = "x", .id = 0, .num_fields = 1,
+                    .buckets_per_partition = 1});
+  ASSERT_TRUE(t.Insert(1, Record(1)).ok());
+  ASSERT_TRUE(t.Insert(2, Record(1)).ok());
+  EXPECT_EQ(t.BucketFor(1), t.BucketFor(2));
+  ASSERT_TRUE(t.BucketFor(1)->TryLockExclusive());
+  EXPECT_FALSE(t.BucketFor(2)->TryLockExclusive());
+  t.BucketFor(1)->UnlockExclusive(false);
+}
+
+std::vector<TableSpec> TwoTableSchema() {
+  return {TableSpec{.name = "a", .id = 0, .num_fields = 2,
+                    .buckets_per_partition = 64},
+          TableSpec{.name = "b", .id = 3, .num_fields = 1,
+                    .buckets_per_partition = 64}};
+}
+
+TEST(PartitionStoreTest, SparseTableIds) {
+  PartitionStore store(0, TwoTableSchema());
+  EXPECT_EQ(store.table(0)->spec().name, "a");
+  EXPECT_EQ(store.table(3)->spec().name, "b");
+}
+
+TEST(PartitionStoreTest, LockUnlockTracking) {
+  PartitionStore store(0, TwoTableSchema());
+  const RecordId rid{0, 42};
+  ASSERT_TRUE(store.Insert(rid, Record(2)).ok());
+  EXPECT_TRUE(store.TryLock(rid, LockMode::kExclusive).ok());
+  EXPECT_EQ(store.locks_held(), 1u);
+  EXPECT_TRUE(store.TryLock(rid, LockMode::kShared).IsAborted());
+  store.Unlock(rid, LockMode::kExclusive, /*modified=*/true);
+  EXPECT_EQ(store.locks_held(), 0u);
+  EXPECT_EQ(store.VersionOf(rid), 1u);
+}
+
+TEST(PartitionStoreTest, NoWaitConflictAcrossKeysInBucket) {
+  std::vector<TableSpec> schema = {TableSpec{
+      .name = "a", .id = 0, .num_fields = 1, .buckets_per_partition = 1}};
+  PartitionStore store(0, schema);
+  ASSERT_TRUE(store.Insert(RecordId{0, 1}, Record(1)).ok());
+  ASSERT_TRUE(store.Insert(RecordId{0, 2}, Record(1)).ok());
+  ASSERT_TRUE(store.TryLock(RecordId{0, 1}, LockMode::kExclusive).ok());
+  EXPECT_TRUE(store.TryLock(RecordId{0, 2}, LockMode::kShared).IsAborted());
+  store.Unlock(RecordId{0, 1}, LockMode::kExclusive, false);
+}
+
+TEST(PartitionStoreTest, RecordCount) {
+  PartitionStore store(0, TwoTableSchema());
+  ASSERT_TRUE(store.Insert(RecordId{0, 1}, Record(2)).ok());
+  ASSERT_TRUE(store.Insert(RecordId{3, 1}, Record(1)).ok());
+  EXPECT_EQ(store.num_records(), 2u);
+  ASSERT_TRUE(store.Erase(RecordId{3, 1}).ok());
+  EXPECT_EQ(store.num_records(), 1u);
+}
+
+}  // namespace
+}  // namespace chiller::storage
