@@ -8,21 +8,30 @@ namespace {
 
 namespace instacart = workload::instacart;
 
-void Main() {
+void Main(const BenchFlags& flags) {
   std::printf(
       "Ablation — Section 4.4 co-optimization (min edge weight sweep).\n"
       "Larger minimum weights co-locate whole transactions (fewer\n"
       "distributed txns) at some cost in residual contention.\n\n");
 
+  BenchReport report("ablation_cooptimization");
+  report.SetConfig("partitions", 8);
+  report.SetConfig("trace_txns", 8000);
+  report.SetConfig("seed", flags.seed);
+  report.SetConfig("tail_theta", flags.theta);
+
   instacart::InstacartWorkload::Options wopts;
   wopts.num_products = 20000;
   wopts.num_customers = 50000;
+  wopts.tail_theta = flags.theta;
   instacart::InstacartWorkload wl(wopts);
-  Rng rng(31);
+  // flags.seed + 30/31 keeps the default (seed=1) identical to the
+  // pre-harness Rng(31)/Rng(32) runs.
+  Rng rng(flags.seed + 30);
   auto traces = wl.GenerateTrace(8000, &rng);
   partition::StatsCollector stats;
   for (const auto& t : traces) stats.ObserveTrace(t);
-  Rng eval_rng(32);
+  Rng eval_rng(flags.seed + 31);
   auto eval = wl.GenerateTrace(8000, &eval_rng);
   partition::StatsCollector eval_stats;
   for (const auto& t : eval) eval_stats.ObserveTrace(t);
@@ -35,15 +44,30 @@ void Main() {
     opts.hot_threshold = 0.01;
     opts.min_edge_weight = w;
     auto out = partition::ChillerPartitioner::Build(traces, opts);
-    std::printf("%-16.2f %14.3f %14.1f %14.1f\n", w,
-                partition::DistributedRatio(eval, *out.partitioner),
-                partition::ResidualContention(eval, *out.partitioner,
-                                              eval_stats, 16.0),
+    const double dist = partition::DistributedRatio(eval, *out.partitioner);
+    const double resid = partition::ResidualContention(eval, *out.partitioner,
+                                                       eval_stats, 16.0);
+    std::printf("%-16.2f %14.3f %14.1f %14.1f\n", w, dist, resid,
                 out.report.cut_weight);
+
+    Json row = Json::MakeObject();
+    row["params"]["min_edge_weight"] = w;
+    row["distributed_ratio"] = dist;
+    row["residual_contention"] = resid;
+    row["cut_weight"] = out.report.cut_weight;
+    report.Add(std::move(row));
   }
+
+  report.MaybeWrite(flags.emit_json,
+                    flags.JsonPathFor("ablation_cooptimization"));
 }
 
 }  // namespace
 }  // namespace chiller::bench
 
-int main() { chiller::bench::Main(); }
+int main(int argc, char** argv) {
+  chiller::bench::BenchFlags defaults;
+  defaults.theta = 0.6;  // the Instacart catalog tail skew
+  chiller::bench::Main(chiller::bench::ParseBenchFlagsOrExit(
+      argc, argv, "ablation_cooptimization", defaults));
+}

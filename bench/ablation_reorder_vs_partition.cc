@@ -11,21 +11,29 @@ namespace {
 
 namespace instacart = workload::instacart;
 
-constexpr SimTime kWarmup = 3 * kMillisecond;
-constexpr SimTime kMeasure = 25 * kMillisecond;
 constexpr uint32_t kPartitions = 8;
 
-double RunOne(const instacart::InstacartWorkload::Options& wopts,
-              const partition::RecordPartitioner* layout, bool two_region) {
+double RunOne(const BenchFlags& flags,
+              const instacart::InstacartWorkload::Options& wopts,
+              const char* layout_name,
+              const partition::RecordPartitioner* layout, bool two_region,
+              BenchReport* report) {
   instacart::InstacartWorkload workload(wopts);
-  Env env = MakeInstacartEnv(two_region ? "chiller" : "chiller-plain",
-                             kPartitions, &workload, layout,
-                             /*concurrency=*/4);
-  auto stats = env.driver->Run(kWarmup, kMeasure);
+  const std::string proto = two_region ? "chiller" : "chiller-plain";
+  Env env = MakeInstacartEnv(proto, kPartitions, &workload, layout,
+                             flags.concurrency, flags.seed);
+  auto stats = env.driver->Run(
+      static_cast<SimTime>(flags.warmup_ms * kMillisecond),
+      static_cast<SimTime>(flags.duration_ms * kMillisecond));
+
+  Json params = Json::MakeObject();
+  params["layout"] = layout_name;
+  params["two_region"] = two_region;
+  report->AddRun(proto, std::move(params), stats);
   return stats.Throughput() / 1000.0;
 }
 
-void Main() {
+void Main(const BenchFlags& flags) {
   std::printf(
       "Ablation — execution re-ordering vs contention-aware partitioning\n"
       "(Instacart-like, %u partitions; K txns/sec).\n"
@@ -33,19 +41,33 @@ void Main() {
       "from optimizing order AND placement together.\n\n",
       kPartitions);
 
+  BenchReport report("ablation_reorder_vs_partition");
+  report.SetConfig("partitions", kPartitions);
+  report.SetConfig("concurrency", flags.concurrency);
+  report.SetConfig("warmup_ms", flags.warmup_ms);
+  report.SetConfig("duration_ms", flags.duration_ms);
+  report.SetConfig("seed", flags.seed);
+  report.SetConfig("tail_theta", flags.theta);
+
   instacart::InstacartWorkload::Options wopts;
   wopts.num_products = 20000;
   wopts.num_customers = 50000;
+  wopts.tail_theta = flags.theta;
   instacart::InstacartWorkload trace_wl(wopts);
   auto layouts = BuildInstacartLayouts(&trace_wl, kPartitions,
-                                       /*trace_txns=*/8000);
+                                       /*trace_txns=*/8000,
+                                       /*seed=*/flags.seed + 6);
 
-  const double base = RunOne(wopts, layouts.hashing.get(), false);
-  const double reorder_only = RunOne(wopts, layouts.hashing.get(), true);
+  const double base =
+      RunOne(flags, wopts, "hash", layouts.hashing.get(), false, &report);
+  const double reorder_only =
+      RunOne(flags, wopts, "hash", layouts.hashing.get(), true, &report);
   const double partition_only =
-      RunOne(wopts, layouts.chiller_out.partitioner.get(), false);
+      RunOne(flags, wopts, "chiller",
+             layouts.chiller_out.partitioner.get(), false, &report);
   const double both =
-      RunOne(wopts, layouts.chiller_out.partitioner.get(), true);
+      RunOne(flags, wopts, "chiller",
+             layouts.chiller_out.partitioner.get(), true, &report);
 
   std::printf("%-44s %10.1f (1.00x)\n",
               "hash layout, plain 2PL (baseline)", base);
@@ -57,9 +79,18 @@ void Main() {
               partition_only / base);
   std::printf("%-44s %10.1f (%.2fx)\n",
               "chiller layout + two-region (full system)", both, both / base);
+
+  report.MaybeWrite(flags.emit_json,
+                    flags.JsonPathFor("ablation_reorder_vs_partition"));
 }
 
 }  // namespace
 }  // namespace chiller::bench
 
-int main() { chiller::bench::Main(); }
+int main(int argc, char** argv) {
+  chiller::bench::BenchFlags defaults;
+  defaults.duration_ms = 25.0;
+  defaults.theta = 0.6;  // the Instacart catalog tail skew
+  chiller::bench::Main(chiller::bench::ParseBenchFlagsOrExit(
+      argc, argv, "ablation_reorder_vs_partition", defaults));
+}

@@ -3,10 +3,13 @@
 #define CHILLER_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench_flags.h"
+#include "bench/bench_report.h"
 #include "cc/cluster.h"
 #include "cc/driver.h"
 #include "cc/occ.h"
@@ -32,26 +35,55 @@ struct Env {
   std::unique_ptr<cc::Driver> driver;
 };
 
+/// The protocol names MakeProtocol accepts, for usage messages.
+inline const std::vector<std::string>& KnownProtocols() {
+  static const std::vector<std::string> kNames = {"2pl", "occ", "chiller",
+                                                  "chiller-plain"};
+  return kNames;
+}
+
 /// Protocol factory. "chiller-plain" = Chiller partitioning with two-region
-/// execution disabled (the re-ordering ablation).
-inline std::unique_ptr<cc::Protocol> MakeProtocol(
+/// execution disabled (the re-ordering ablation). Unknown names return
+/// InvalidArgument.
+inline StatusOr<std::unique_ptr<cc::Protocol>> MakeProtocol(
     const std::string& name, cc::Cluster* cluster,
     const partition::RecordPartitioner* part, cc::ReplicationManager* repl) {
   if (name == "2pl") {
-    return std::make_unique<cc::TwoPhaseLocking>(cluster, part, repl);
+    return std::unique_ptr<cc::Protocol>(
+        std::make_unique<cc::TwoPhaseLocking>(cluster, part, repl));
   }
   if (name == "occ") {
-    return std::make_unique<cc::Occ>(cluster, part, repl);
+    return std::unique_ptr<cc::Protocol>(
+        std::make_unique<cc::Occ>(cluster, part, repl));
   }
   if (name == "chiller") {
-    return std::make_unique<core::ChillerProtocol>(cluster, part, repl);
+    return std::unique_ptr<cc::Protocol>(
+        std::make_unique<core::ChillerProtocol>(cluster, part, repl));
   }
   if (name == "chiller-plain") {
-    return std::make_unique<core::ChillerProtocol>(cluster, part, repl,
-                                                   /*enable_two_region=*/false);
+    return std::unique_ptr<cc::Protocol>(std::make_unique<core::ChillerProtocol>(
+        cluster, part, repl, /*enable_two_region=*/false));
   }
-  std::fprintf(stderr, "unknown protocol %s\n", name.c_str());
-  std::abort();
+  std::string known;
+  for (const std::string& n : KnownProtocols()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::InvalidArgument("unknown protocol '" + name +
+                                 "' (known: " + known + ")");
+}
+
+/// MakeProtocol for bench mains: prints the error + usage and exits 1
+/// instead of returning. Never aborts.
+inline std::unique_ptr<cc::Protocol> MakeProtocolOrExit(
+    const std::string& name, cc::Cluster* cluster,
+    const partition::RecordPartitioner* part, cc::ReplicationManager* repl) {
+  auto proto = MakeProtocol(name, cluster, part, repl);
+  if (!proto.ok()) {
+    std::fprintf(stderr, "%s\n", proto.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(proto).value();
 }
 
 /// TPC-C cluster: `warehouses` = nodes * engines_per_node, partitioned by
@@ -81,8 +113,8 @@ inline Env MakeTpccEnv(const std::string& proto, uint32_t nodes,
   env.partitioner = part.get();
   env.owned_partitioner = std::move(part);
   env.repl = std::make_unique<cc::ReplicationManager>(env.cluster.get());
-  env.protocol = MakeProtocol(proto, env.cluster.get(), env.partitioner,
-                              env.repl.get());
+  env.protocol = MakeProtocolOrExit(proto, env.cluster.get(),
+                                    env.partitioner, env.repl.get());
   env.driver = std::make_unique<cc::Driver>(env.cluster.get(),
                                             env.protocol.get(), workload,
                                             concurrency, seed);
@@ -107,8 +139,8 @@ inline Env MakeInstacartEnv(const std::string& proto, uint32_t partitions,
       });
   env.partitioner = layout;
   env.repl = std::make_unique<cc::ReplicationManager>(env.cluster.get());
-  env.protocol = MakeProtocol(proto, env.cluster.get(), env.partitioner,
-                              env.repl.get());
+  env.protocol = MakeProtocolOrExit(proto, env.cluster.get(),
+                                    env.partitioner, env.repl.get());
   env.driver = std::make_unique<cc::Driver>(env.cluster.get(),
                                             env.protocol.get(), workload,
                                             concurrency, seed);

@@ -1,0 +1,140 @@
+#include "bench/bench_flags.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace chiller::bench {
+namespace {
+
+/// Splits "--name=value" into name/value. Flags without '=' get an empty
+/// value (only boolean flags accept that).
+bool SplitFlag(const std::string& arg, std::string* name, std::string* value) {
+  if (arg.rfind("--", 0) != 0) return false;
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos) {
+    *name = arg.substr(2);
+    value->clear();
+  } else {
+    *name = arg.substr(2, eq - 2);
+    *value = arg.substr(eq + 1);
+  }
+  return true;
+}
+
+template <typename T>
+Status ParseNumber(const std::string& flag, const std::string& value, T* out) {
+  if (value.empty()) {
+    return Status::InvalidArgument("--" + flag + " requires a value");
+  }
+  T parsed{};
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  auto [ptr, ec] = std::from_chars(first, last, parsed);
+  if (ec != std::errc() || ptr != last) {
+    return Status::InvalidArgument("bad value for --" + flag + ": '" + value +
+                                   "'");
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string UsageString(const std::string& bench_name,
+                        const BenchFlags& defaults) {
+  const BenchFlags& d = defaults;
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "usage: %s [flags]\n"
+      "  --protocol=NAME     protocol where selectable: 2pl | occ | chiller |"
+      " chiller-plain (default %s)\n"
+      "  --nodes=N           cluster nodes (default %u)\n"
+      "  --engines=N         engines per node (default %u)\n"
+      "  --concurrency=N     open txns per engine (default %u)\n"
+      "  --warmup-ms=F       simulated warmup, ms (default %g)\n"
+      "  --duration-ms=F     simulated measurement window, ms (default %g)\n"
+      "  --theta=F           Zipf skew where applicable (default %g)\n"
+      "  --seed=N            base RNG seed (default %llu)\n"
+      "  --json=PATH         JSON report path (default BENCH_%s.json)\n"
+      "  --no-json           skip the JSON report\n"
+      "  --help              show this message\n",
+      bench_name.c_str(), d.protocol.c_str(), d.nodes, d.engines,
+      d.concurrency, d.warmup_ms, d.duration_ms, d.theta,
+      static_cast<unsigned long long>(d.seed), bench_name.c_str());
+  return buf;
+}
+
+Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string name, value;
+    if (!SplitFlag(arg, &name, &value)) {
+      return Status::InvalidArgument("unexpected argument '" + arg + "'");
+    }
+    Status st;
+    if (name == "help") {
+      out->help = true;
+      return Status::OK();
+    } else if (name == "no-json") {
+      out->emit_json = false;
+    } else if (name == "protocol") {
+      if (value.empty()) {
+        return Status::InvalidArgument("--protocol requires a value");
+      }
+      out->protocol = value;
+    } else if (name == "json") {
+      if (value.empty()) {
+        return Status::InvalidArgument("--json requires a value");
+      }
+      out->json_path = value;
+    } else if (name == "nodes") {
+      st = ParseNumber(name, value, &out->nodes);
+    } else if (name == "engines") {
+      st = ParseNumber(name, value, &out->engines);
+    } else if (name == "concurrency") {
+      st = ParseNumber(name, value, &out->concurrency);
+    } else if (name == "warmup-ms") {
+      st = ParseNumber(name, value, &out->warmup_ms);
+    } else if (name == "duration-ms") {
+      st = ParseNumber(name, value, &out->duration_ms);
+    } else if (name == "theta") {
+      st = ParseNumber(name, value, &out->theta);
+    } else if (name == "seed") {
+      st = ParseNumber(name, value, &out->seed);
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+    if (!st.ok()) return st;
+  }
+  if (out->nodes == 0 || out->engines == 0 || out->concurrency == 0) {
+    return Status::InvalidArgument(
+        "--nodes, --engines, and --concurrency must be positive");
+  }
+  if (out->warmup_ms < 0 || out->duration_ms <= 0) {
+    return Status::InvalidArgument(
+        "--warmup-ms must be >= 0 and --duration-ms > 0");
+  }
+  return Status::OK();
+}
+
+BenchFlags ParseBenchFlagsOrExit(int argc, const char* const* argv,
+                                 const std::string& bench_name,
+                                 BenchFlags defaults) {
+  BenchFlags flags = defaults;
+  const Status st = ParseBenchFlags(argc, argv, &flags);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n%s", bench_name.c_str(),
+                 st.message().c_str(),
+                 UsageString(bench_name, defaults).c_str());
+    std::exit(1);
+  }
+  if (flags.help) {
+    std::fputs(UsageString(bench_name, defaults).c_str(), stdout);
+    std::exit(0);
+  }
+  return flags;
+}
+
+}  // namespace chiller::bench

@@ -1,0 +1,74 @@
+// Shared command-line interface for the figure/ablation benches.
+//
+// Every bench accepts the same flag set so runs are comparable and
+// scriptable:
+//
+//   --protocol=NAME       2pl | occ | chiller | chiller-plain (where used)
+//   --nodes=N             cluster nodes
+//   --engines=N           engines (cores/partitions) per node
+//   --concurrency=N       open transactions per engine
+//   --warmup-ms=N         simulated warmup before measuring
+//   --duration-ms=N       simulated measurement window
+//   --theta=F             Zipf skew for workloads that take one
+//   --seed=N              base RNG seed
+//   --json=PATH           where to write the machine-readable report
+//                         (default BENCH_<name>.json in the cwd)
+//   --no-json             disable the JSON report
+//   --help                print usage and exit 0
+//
+// Benches sweep their own x-axis (concurrency, partitions, % distributed);
+// flags set the fixed parameters of the sweep. A bench reads only the
+// fields it uses.
+#ifndef CHILLER_BENCH_BENCH_FLAGS_H_
+#define CHILLER_BENCH_BENCH_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace chiller::bench {
+
+struct BenchFlags {
+  std::string protocol = "chiller";
+  uint32_t nodes = 8;
+  uint32_t engines = 10;
+  uint32_t concurrency = 4;
+  double warmup_ms = 3.0;
+  double duration_ms = 15.0;
+  double theta = 0.99;
+  uint64_t seed = 1;
+  std::string json_path;  ///< empty = BENCH_<bench name>.json
+  bool emit_json = true;
+  bool help = false;      ///< --help was given; caller prints usage, exits 0
+
+  /// The --json override, or the default path for `bench_name`.
+  std::string JsonPathFor(const std::string& bench_name) const {
+    return json_path.empty() ? "BENCH_" + bench_name + ".json" : json_path;
+  }
+};
+
+/// Usage text for `bench_name`, listing every flag and its default.
+/// `defaults` must be the same bench-specific defaults passed to parsing,
+/// so --help reports what the bench actually does when a flag is absent.
+std::string UsageString(const std::string& bench_name,
+                        const BenchFlags& defaults = BenchFlags{});
+
+/// Parses argv into `out` (which keeps its defaults for absent flags).
+/// Returns InvalidArgument on an unknown flag or a malformed value; the
+/// message names the offending argument. `--help` sets out->help and
+/// returns OK without parsing further.
+Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out);
+
+/// Standard prologue used by every bench main: parse flags, and on --help
+/// or a parse error print usage to the right stream and exit (0 for
+/// --help, 1 for errors). `defaults` carries bench-specific defaults
+/// (e.g. fig7 measures 30 ms where the shared default is 15).
+BenchFlags ParseBenchFlagsOrExit(int argc, const char* const* argv,
+                                 const std::string& bench_name,
+                                 BenchFlags defaults = BenchFlags{});
+
+}  // namespace chiller::bench
+
+#endif  // CHILLER_BENCH_BENCH_FLAGS_H_

@@ -1,0 +1,84 @@
+#include "bench/bench_report.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace chiller::bench {
+
+Json ResultRow(const std::string& protocol, Json params,
+               const cc::RunStats& stats) {
+  Histogram latency;
+  for (const auto& cls : stats.classes) latency.Merge(cls.latency);
+
+  Json row = Json::MakeObject();
+  row["protocol"] = protocol;
+  row["params"] = std::move(params);
+  row["throughput_tps"] = stats.Throughput();
+  row["abort_rate"] = stats.AbortRate();
+  row["distributed_ratio"] = stats.DistributedRatio();
+  row["commits"] = stats.TotalCommits();
+  row["conflict_aborts"] = stats.TotalConflictAborts();
+  row["attempts"] = stats.TotalAttempts();
+  row["latency_p50_ns"] = latency.count() == 0 ? 0 : latency.Percentile(50);
+  row["latency_p99_ns"] = latency.count() == 0 ? 0 : latency.Percentile(99);
+  row["latency_mean_ns"] = latency.count() == 0 ? 0.0 : latency.Mean();
+
+  Json per_class = Json::MakeObject();
+  for (const auto& cls : stats.classes) {
+    if (cls.name.empty() && cls.attempts() == 0) continue;
+    Json c = Json::MakeObject();
+    c["commits"] = cls.commits;
+    c["abort_rate"] = cls.AbortRate();
+    per_class[cls.name.empty() ? "unnamed" : cls.name] = std::move(c);
+  }
+  row["classes"] = std::move(per_class);
+  return row;
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::SetConfig(const std::string& key, Json value) {
+  config_[key] = std::move(value);
+}
+
+void BenchReport::Add(Json row) { results_.Append(std::move(row)); }
+
+void BenchReport::AddRun(const std::string& protocol, Json params,
+                         const cc::RunStats& stats) {
+  Add(ResultRow(protocol, std::move(params), stats));
+}
+
+Json BenchReport::ToJson() const {
+  Json doc = Json::MakeObject();
+  doc["bench"] = name_;
+  doc["config"] = config_;
+  doc["results"] = results_;
+  return doc;
+}
+
+Status BenchReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  const std::string text = ToJson().Dump(/*indent=*/2);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != text.size() || !close_ok) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+void BenchReport::MaybeWrite(bool emit, const std::string& path) const {
+  if (!emit) return;
+  const Status st = WriteFile(path);
+  if (st.ok()) {
+    std::fprintf(stderr, "  [%s] wrote %s\n", name_.c_str(), path.c_str());
+  } else {
+    std::fprintf(stderr, "  [%s] JSON report failed: %s\n", name_.c_str(),
+                 st.ToString().c_str());
+  }
+}
+
+}  // namespace chiller::bench

@@ -1,0 +1,77 @@
+// Machine-readable benchmark reports.
+//
+// Every fig/ablation bench accumulates one BenchReport and writes it as
+// BENCH_<name>.json next to its human-readable table. The JSON shape is
+// uniform across benches so tooling can diff runs:
+//
+//   {
+//     "bench": "fig9",
+//     "config": { ...fixed parameters of the run... },
+//     "results": [
+//       {
+//         "protocol": "chiller",
+//         "params": {"concurrency": 4},          // the swept x-axis point
+//         "throughput_tps": 1.1e6,
+//         "abort_rate": 0.02,
+//         "latency_p50_ns": 12000,
+//         "latency_p99_ns": 91000,
+//         ...
+//       }, ...
+//     ]
+//   }
+#ifndef CHILLER_BENCH_BENCH_REPORT_H_
+#define CHILLER_BENCH_BENCH_REPORT_H_
+
+#include <string>
+
+#include "cc/protocol.h"
+#include "common/json.h"
+#include "common/status.h"
+
+namespace chiller::bench {
+
+/// Flattens a measurement window into the uniform result-row shape:
+/// throughput, abort rate, distributed ratio, commit/abort counters, and
+/// p50/p99/mean latency merged across transaction classes. `protocol` and
+/// `params` identify the run; `params` holds the swept parameters (e.g.
+/// {"concurrency": 4} or {"partitions": 8, "layout": "schism"}).
+Json ResultRow(const std::string& protocol, Json params,
+               const cc::RunStats& stats);
+
+class BenchReport {
+ public:
+  /// `name` is the bench's short name ("fig9"); it becomes both the
+  /// default file name (BENCH_fig9.json) and the "bench" field.
+  explicit BenchReport(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Fixed parameters of the whole run (nodes, engines, durations, ...).
+  void SetConfig(const std::string& key, Json value);
+
+  /// Appends one result row (usually from ResultRow()).
+  void Add(Json row);
+
+  /// Convenience: ResultRow() + Add().
+  void AddRun(const std::string& protocol, Json params,
+              const cc::RunStats& stats);
+
+  Json ToJson() const;
+
+  /// Writes ToJson() pretty-printed to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  /// Standard epilogue for bench mains: no-op when `emit` is false,
+  /// otherwise write to `path` and log where the report went (or complain
+  /// to stderr on failure, without aborting the bench).
+  void MaybeWrite(bool emit, const std::string& path) const;
+
+ private:
+  std::string name_;
+  Json config_ = Json::MakeObject();
+  Json results_ = Json::MakeArray();
+};
+
+}  // namespace chiller::bench
+
+#endif  // CHILLER_BENCH_BENCH_REPORT_H_

@@ -12,14 +12,10 @@ namespace {
 
 namespace tpcc = workload::tpcc;
 
-constexpr uint32_t kNodes = 8;
-constexpr uint32_t kEnginesPerNode = 10;
-constexpr SimTime kWarmup = 3 * kMillisecond;
-constexpr SimTime kMeasure = 12 * kMillisecond;
-
-double RunOne(const std::string& proto, uint32_t concurrency, double pct) {
+double RunOne(const BenchFlags& flags, const std::string& proto,
+              uint32_t concurrency, double pct, BenchReport* report) {
   tpcc::TpccWorkload::Options wopts;
-  wopts.num_warehouses = kNodes * kEnginesPerNode;
+  wopts.num_warehouses = flags.nodes * flags.engines;
   wopts.pct_new_order = 50;
   wopts.pct_payment = 50;
   wopts.pct_order_status = 0;
@@ -28,28 +24,43 @@ double RunOne(const std::string& proto, uint32_t concurrency, double pct) {
   wopts.remote_new_order_prob = pct / 100.0;
   wopts.remote_payment_prob = pct / 100.0;
   tpcc::TpccWorkload workload(wopts);
-  Env env = MakeTpccEnv(proto, kNodes, kEnginesPerNode, &workload,
-                        concurrency, /*seed=*/static_cast<uint64_t>(pct) + 1);
-  auto stats = env.driver->Run(kWarmup, kMeasure);
+  Env env = MakeTpccEnv(proto, flags.nodes, flags.engines, &workload,
+                        concurrency,
+                        /*seed=*/flags.seed + static_cast<uint64_t>(pct));
+  auto stats = env.driver->Run(
+      static_cast<SimTime>(flags.warmup_ms * kMillisecond),
+      static_cast<SimTime>(flags.duration_ms * kMillisecond));
+
+  Json params = Json::MakeObject();
+  params["pct_distributed"] = pct;
+  params["concurrency"] = concurrency;
+  report->AddRun(proto, std::move(params), stats);
   return stats.Throughput() / 1e6;
 }
 
-void Main() {
+void Main(const BenchFlags& flags) {
   std::printf(
       "Figure 10 — throughput (M txns/sec) vs %% distributed transactions\n"
       "(TPC-C NewOrder+Payment 50/50, %u warehouses).\n"
       "paper shape: Chiller best, degrades < 20%%; 2PL/OCC with 5 open\n"
       "txns collapse as distribution grows.\n\n",
-      kNodes * kEnginesPerNode);
+      flags.nodes * flags.engines);
+
+  BenchReport report("fig10");
+  report.SetConfig("nodes", flags.nodes);
+  report.SetConfig("engines_per_node", flags.engines);
+  report.SetConfig("warmup_ms", flags.warmup_ms);
+  report.SetConfig("duration_ms", flags.duration_ms);
+  report.SetConfig("seed", flags.seed);
 
   std::vector<double> pcts = {0, 20, 40, 60, 80, 100};
   std::vector<double> twopl1, occ1, twopl5, occ5, chiller5;
   for (double pct : pcts) {
-    twopl1.push_back(RunOne("2pl", 1, pct));
-    occ1.push_back(RunOne("occ", 1, pct));
-    twopl5.push_back(RunOne("2pl", 5, pct));
-    occ5.push_back(RunOne("occ", 5, pct));
-    chiller5.push_back(RunOne("chiller", 5, pct));
+    twopl1.push_back(RunOne(flags, "2pl", 1, pct, &report));
+    occ1.push_back(RunOne(flags, "occ", 1, pct, &report));
+    twopl5.push_back(RunOne(flags, "2pl", 5, pct, &report));
+    occ5.push_back(RunOne(flags, "occ", 5, pct, &report));
+    chiller5.push_back(RunOne(flags, "chiller", 5, pct, &report));
     std::fprintf(stderr, "  [fig10] %.0f%% distributed done\n", pct);
   }
 
@@ -62,9 +73,16 @@ void Main() {
 
   std::printf("\nChiller degradation 0%% -> 100%%: %.1f%% (paper: <20%%)\n",
               100.0 * (1.0 - chiller5.back() / chiller5.front()));
+
+  report.MaybeWrite(flags.emit_json, flags.JsonPathFor("fig10"));
 }
 
 }  // namespace
 }  // namespace chiller::bench
 
-int main() { chiller::bench::Main(); }
+int main(int argc, char** argv) {
+  chiller::bench::BenchFlags defaults;
+  defaults.duration_ms = 12.0;
+  chiller::bench::Main(
+      chiller::bench::ParseBenchFlagsOrExit(argc, argv, "fig10", defaults));
+}

@@ -11,40 +11,57 @@ namespace {
 
 namespace instacart = workload::instacart;
 
-constexpr SimTime kWarmup = 3 * kMillisecond;
-constexpr SimTime kMeasure = 30 * kMillisecond;
-
-double RunLayout(const std::string& label, uint32_t k,
-                 const instacart::InstacartWorkload::Options& wopts,
-                 const partition::RecordPartitioner* layout) {
-  (void)label;
+double RunLayout(const BenchFlags& flags, const std::string& layout_name,
+                 uint32_t k, const instacart::InstacartWorkload::Options& wopts,
+                 const partition::RecordPartitioner* layout,
+                 BenchReport* report) {
   instacart::InstacartWorkload workload(wopts);
-  Env env = MakeInstacartEnv("chiller", k, &workload, layout,
-                             /*concurrency=*/4, /*seed=*/k);
-  auto stats = env.driver->Run(kWarmup, kMeasure);
+  Env env = MakeInstacartEnv(flags.protocol, k, &workload, layout,
+                             flags.concurrency, /*seed=*/flags.seed + k);
+  auto stats = env.driver->Run(
+      static_cast<SimTime>(flags.warmup_ms * kMillisecond),
+      static_cast<SimTime>(flags.duration_ms * kMillisecond));
+
+  Json params = Json::MakeObject();
+  params["partitions"] = k;
+  params["layout"] = layout_name;
+  report->AddRun(flags.protocol, std::move(params), stats);
   return stats.Throughput() / 1000.0;  // K txns/sec
 }
 
-void Main() {
+void Main(const BenchFlags& flags) {
   std::printf(
       "Figure 7 — Instacart NewOrder throughput (K txns/sec) vs partitions\n"
       "paper shape: Chiller highest and ~linear; Schism ~+50%% over hash;\n"
       "neither baseline scales.\n\n");
 
+  BenchReport report("fig7");
+  report.SetConfig("protocol", flags.protocol);
+  report.SetConfig("concurrency", flags.concurrency);
+  report.SetConfig("warmup_ms", flags.warmup_ms);
+  report.SetConfig("duration_ms", flags.duration_ms);
+  report.SetConfig("seed", flags.seed);
+  report.SetConfig("tail_theta", flags.theta);
+
   instacart::InstacartWorkload::Options wopts;
   wopts.num_products = 20000;
   wopts.num_customers = 50000;
+  wopts.tail_theta = flags.theta;
 
   std::vector<double> ks = {2, 3, 4, 5, 6, 7, 8};
   std::vector<double> hash_s, schism_s, chiller_s;
   for (double kd : ks) {
     const uint32_t k = static_cast<uint32_t>(kd);
     instacart::InstacartWorkload trace_wl(wopts);
-    auto layouts = BuildInstacartLayouts(&trace_wl, k, /*trace_txns=*/8000);
-    hash_s.push_back(RunLayout("hash", k, wopts, layouts.hashing.get()));
-    schism_s.push_back(RunLayout("schism", k, wopts, layouts.schism.get()));
-    chiller_s.push_back(
-        RunLayout("chiller", k, wopts, layouts.chiller_out.partitioner.get()));
+    auto layouts = BuildInstacartLayouts(&trace_wl, k, /*trace_txns=*/8000,
+                                         /*seed=*/flags.seed + 6);
+    hash_s.push_back(
+        RunLayout(flags, "hash", k, wopts, layouts.hashing.get(), &report));
+    schism_s.push_back(
+        RunLayout(flags, "schism", k, wopts, layouts.schism.get(), &report));
+    chiller_s.push_back(RunLayout(flags, "chiller", k, wopts,
+                                  layouts.chiller_out.partitioner.get(),
+                                  &report));
     std::fprintf(stderr, "  [fig7] k=%u done\n", k);
   }
 
@@ -58,9 +75,17 @@ void Main() {
               speedup);
   std::printf("Chiller vs best baseline at 8 partitions: %.2fx\n",
               chiller_s.back() / std::max(hash_s.back(), schism_s.back()));
+
+  report.MaybeWrite(flags.emit_json, flags.JsonPathFor("fig7"));
 }
 
 }  // namespace
 }  // namespace chiller::bench
 
-int main() { chiller::bench::Main(); }
+int main(int argc, char** argv) {
+  chiller::bench::BenchFlags defaults;
+  defaults.duration_ms = 30.0;  // longer window: per-partition rates are low
+  defaults.theta = 0.6;         // the Instacart catalog tail skew
+  chiller::bench::Main(
+      chiller::bench::ParseBenchFlagsOrExit(argc, argv, "fig7", defaults));
+}

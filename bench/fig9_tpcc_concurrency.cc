@@ -16,11 +16,6 @@ namespace {
 
 namespace tpcc = workload::tpcc;
 
-constexpr uint32_t kNodes = 8;
-constexpr uint32_t kEnginesPerNode = 10;  // 80 warehouses, as in the paper
-constexpr SimTime kWarmup = 3 * kMillisecond;
-constexpr SimTime kMeasure = 15 * kMillisecond;
-
 struct Point {
   double throughput_m;  // M txns/sec
   double abort_rate;
@@ -29,12 +24,20 @@ struct Point {
   double abort_stock_level;
 };
 
-Point RunOne(const std::string& proto, uint32_t concurrency) {
-  tpcc::TpccWorkload workload(
-      tpcc::TpccWorkload::Options{.num_warehouses = kNodes * kEnginesPerNode});
-  Env env = MakeTpccEnv(proto, kNodes, kEnginesPerNode, &workload,
-                        concurrency, /*seed=*/concurrency);
-  auto stats = env.driver->Run(kWarmup, kMeasure);
+Point RunOne(const BenchFlags& flags, const std::string& proto,
+             uint32_t concurrency, BenchReport* report) {
+  tpcc::TpccWorkload workload(tpcc::TpccWorkload::Options{
+      .num_warehouses = flags.nodes * flags.engines});
+  Env env = MakeTpccEnv(proto, flags.nodes, flags.engines, &workload,
+                        concurrency, /*seed=*/flags.seed + concurrency);
+  auto stats = env.driver->Run(
+      static_cast<SimTime>(flags.warmup_ms * kMillisecond),
+      static_cast<SimTime>(flags.duration_ms * kMillisecond));
+
+  Json params = Json::MakeObject();
+  params["concurrency"] = concurrency;
+  report->AddRun(proto, std::move(params), stats);
+
   Point p;
   p.throughput_m = stats.Throughput() / 1e6;
   p.abort_rate = stats.AbortRate();
@@ -44,20 +47,28 @@ Point RunOne(const std::string& proto, uint32_t concurrency) {
   return p;
 }
 
-void Main() {
+void Main(const BenchFlags& flags) {
   std::printf(
       "Figure 9 — full TPC-C, %u nodes x %u engines (1 warehouse each),\n"
       "same by-warehouse partitioning for every protocol; sweeping\n"
       "concurrent transactions per warehouse.\n\n",
-      kNodes, kEnginesPerNode);
+      flags.nodes, flags.engines);
+
+  BenchReport report("fig9");
+  report.SetConfig("nodes", flags.nodes);
+  report.SetConfig("engines_per_node", flags.engines);
+  report.SetConfig("warehouses", flags.nodes * flags.engines);
+  report.SetConfig("warmup_ms", flags.warmup_ms);
+  report.SetConfig("duration_ms", flags.duration_ms);
+  report.SetConfig("seed", flags.seed);
 
   std::vector<double> conc = {1, 2, 3, 4, 5, 6, 7, 8};
   std::vector<Point> twopl, occ, chiller;
   for (double cd : conc) {
     const uint32_t c = static_cast<uint32_t>(cd);
-    twopl.push_back(RunOne("2pl", c));
-    occ.push_back(RunOne("occ", c));
-    chiller.push_back(RunOne("chiller", c));
+    twopl.push_back(RunOne(flags, "2pl", c, &report));
+    occ.push_back(RunOne(flags, "occ", c, &report));
+    chiller.push_back(RunOne(flags, "chiller", c, &report));
     std::fprintf(stderr, "  [fig9] concurrency=%u done\n", c);
   }
 
@@ -93,9 +104,14 @@ void Main() {
   PrintRow("Stock-level",
            series(twopl, [](auto& p) { return p.abort_stock_level; }),
            "%8.3f");
+
+  report.MaybeWrite(flags.emit_json, flags.JsonPathFor("fig9"));
 }
 
 }  // namespace
 }  // namespace chiller::bench
 
-int main() { chiller::bench::Main(); }
+int main(int argc, char** argv) {
+  chiller::bench::Main(
+      chiller::bench::ParseBenchFlagsOrExit(argc, argv, "fig9"));
+}

@@ -11,15 +11,20 @@ namespace {
 
 namespace instacart = workload::instacart;
 
-void Main() {
+void Main(const BenchFlags& flags) {
   std::printf(
       "Sections 4.4 / 7.2.2 — lookup-table size, graph size, and\n"
       "partitioning cost: Schism vs Chiller on the Instacart-like "
       "workload.\n\n");
 
+  BenchReport report("tab_lookup_and_cost");
+  report.SetConfig("partitions", 8);
+  report.SetConfig("tail_theta", flags.theta);
+
   instacart::InstacartWorkload::Options wopts;
   wopts.num_products = 30000;
   wopts.num_customers = 100000;
+  wopts.tail_theta = flags.theta;
   instacart::InstacartWorkload wl(wopts);
 
   const uint32_t k = 8;
@@ -35,6 +40,19 @@ void Main() {
                 schism.report.graph_edges, chiller.report.graph_edges,
                 schism.report.build_micros / 1000.0,
                 chiller.report.build_micros / 1000.0);
+
+    Json row = Json::MakeObject();
+    row["params"]["trace_txns"] = static_cast<uint64_t>(trace_txns);
+    row["schism_graph_edges"] = static_cast<uint64_t>(schism.report.graph_edges);
+    row["chiller_graph_edges"] =
+        static_cast<uint64_t>(chiller.report.graph_edges);
+    row["schism_build_ms"] = schism.report.build_micros / 1000.0;
+    row["chiller_build_ms"] = chiller.report.build_micros / 1000.0;
+    row["schism_lookup_entries"] =
+        static_cast<uint64_t>(schism.report.lookup_entries);
+    row["chiller_lookup_entries"] =
+        static_cast<uint64_t>(chiller.report.lookup_entries);
+    report.Add(std::move(row));
     if (trace_txns == 40000) {
       std::printf(
           "\nlookup table entries: schism=%zu chiller=%zu (ratio %.1fx, "
@@ -56,9 +74,17 @@ void Main() {
                   std::max<size_t>(1, chiller.report.graph_edges)));
     }
   }
+
+  report.MaybeWrite(flags.emit_json,
+                    flags.JsonPathFor("tab_lookup_and_cost"));
 }
 
 }  // namespace
 }  // namespace chiller::bench
 
-int main() { chiller::bench::Main(); }
+int main(int argc, char** argv) {
+  chiller::bench::BenchFlags defaults;
+  defaults.theta = 0.6;  // the Instacart catalog tail skew
+  chiller::bench::Main(chiller::bench::ParseBenchFlagsOrExit(
+      argc, argv, "tab_lookup_and_cost", defaults));
+}

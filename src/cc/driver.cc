@@ -86,7 +86,11 @@ RunStats Driver::Run(SimTime warmup, SimTime measure) {
     for (uint32_t s = 0; s < concurrent_; ++s) StartSlot(e);
   }
   cluster_->sim()->RunUntil(warmup);
-  for (auto& cs : stats_.classes) cs = ClassStats{.name = cs.name};
+  for (auto& cs : stats_.classes) {
+    ClassStats fresh;
+    fresh.name = cs.name;
+    cs = std::move(fresh);
+  }
   measuring_ = true;
   cluster_->sim()->RunUntil(warmup + measure);
   measuring_ = false;

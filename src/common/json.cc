@@ -1,0 +1,345 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+// GCC 12 emits spurious -Wmaybe-uninitialized from inside libstdc++ for
+// std::variant moves at -O2 (GCC PR 105593); the diagnostic points at
+// basic_string.h/stl_vector.h, not at code in this file.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace chiller {
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberTo(double d, std::string* out) {
+  if (std::isnan(d) || std::isinf(d)) {  // JSON has no NaN/Inf
+    *out += "null";
+    return;
+  }
+  if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    *out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+struct Parser {
+  const char* p = nullptr;
+  const char* end = nullptr;
+  const char* start = nullptr;
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos()) + ": " + what);
+  }
+  size_t pos() const { return static_cast<size_t>(p - start); }
+
+  StatusOr<Json> ParseValue(int depth) {
+    if (depth > 128) return Error("nesting too deep");
+    SkipWs();
+    if (p >= end) return Error("unexpected end of input");
+    switch (*p) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        std::string s;
+        Status st = ParseString(&s);
+        if (!st.ok()) return st;
+        return Json(std::move(s));
+      }
+      case 't':
+        if (Consume("true")) return Json(true);
+        return Error("bad literal");
+      case 'f':
+        if (Consume("false")) return Json(false);
+        return Error("bad literal");
+      case 'n':
+        if (Consume("null")) return Json(nullptr);
+        return Error("bad literal");
+      default: return ParseNumber();
+    }
+  }
+
+  bool Consume(const char* lit) {
+    const char* q = p;
+    while (*lit) {
+      if (q >= end || *q != *lit) return false;
+      ++q;
+      ++lit;
+    }
+    p = q;
+    return true;
+  }
+
+  Status ParseString(std::string* out) {
+    ++p;  // opening quote
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return Error("unterminated escape");
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (end - p < 5) return Error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+              else return Error("bad \\u escape");
+            }
+            p += 4;
+            // UTF-8 encode (BMP only; surrogate pairs are not needed for
+            // the ASCII metric names the harness emits).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return Error("bad escape");
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return Error("unterminated string");
+    ++p;  // closing quote
+    return Status::OK();
+  }
+
+  StatusOr<Json> ParseNumber() {
+    const char* first = p;
+    if (p < end && (*p == '-' || *p == '+')) ++p;
+    bool any = false;
+    while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                       *p == '.' || *p == 'e' || *p == 'E' || *p == '-' ||
+                       *p == '+')) {
+      ++p;
+      any = true;
+    }
+    if (!any) return Error("expected a value");
+    double d = 0;
+    auto [ptr, ec] = std::from_chars(first, p, d);
+    if (ec != std::errc() || ptr != p) return Error("bad number");
+    return Json(d);
+  }
+
+  StatusOr<Json> ParseArray(int depth) {
+    ++p;  // '['
+    Json::Array arr;
+    SkipWs();
+    if (p < end && *p == ']') {
+      ++p;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      auto v = ParseValue(depth + 1);
+      if (!v.ok()) return v.status();
+      arr.push_back(std::move(v).value());
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return Json(std::move(arr));
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<Json> ParseObject(int depth) {
+    ++p;  // '{'
+    Json::Object obj;
+    SkipWs();
+    if (p < end && *p == '}') {
+      ++p;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      SkipWs();
+      if (p >= end || *p != '"') return Error("expected object key");
+      std::string key;
+      Status st = ParseString(&key);
+      if (!st.ok()) return st;
+      SkipWs();
+      if (p >= end || *p != ':') return Error("expected ':'");
+      ++p;
+      auto v = ParseValue(depth + 1);
+      if (!v.ok()) return v.status();
+      obj[std::move(key)] = std::move(v).value();
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return Json(std::move(obj));
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+};
+
+void DumpTo(const Json& j, int indent, int level, std::string* out);
+
+void DumpArray(const Json::Array& arr, int indent, int level,
+               std::string* out) {
+  if (arr.empty()) {
+    *out += "[]";
+    return;
+  }
+  out->push_back('[');
+  const std::string pad(indent * (level + 1), ' ');
+  bool first = true;
+  for (const Json& v : arr) {
+    if (!first) out->push_back(',');
+    first = false;
+    if (indent > 0) {
+      out->push_back('\n');
+      *out += pad;
+    }
+    DumpTo(v, indent, level + 1, out);
+  }
+  if (indent > 0) {
+    out->push_back('\n');
+    *out += std::string(indent * level, ' ');
+  }
+  out->push_back(']');
+}
+
+void DumpObject(const Json::Object& obj, int indent, int level,
+                std::string* out) {
+  if (obj.empty()) {
+    *out += "{}";
+    return;
+  }
+  out->push_back('{');
+  const std::string pad(indent * (level + 1), ' ');
+  bool first = true;
+  for (const auto& [k, v] : obj) {
+    if (!first) out->push_back(',');
+    first = false;
+    if (indent > 0) {
+      out->push_back('\n');
+      *out += pad;
+    }
+    EscapeTo(k, out);
+    out->push_back(':');
+    if (indent > 0) out->push_back(' ');
+    DumpTo(v, indent, level + 1, out);
+  }
+  if (indent > 0) {
+    out->push_back('\n');
+    *out += std::string(indent * level, ' ');
+  }
+  out->push_back('}');
+}
+
+void DumpTo(const Json& j, int indent, int level, std::string* out) {
+  if (j.is_null()) {
+    *out += "null";
+  } else if (j.is_bool()) {
+    *out += j.AsBool() ? "true" : "false";
+  } else if (j.is_number()) {
+    NumberTo(j.AsDouble(), out);
+  } else if (j.is_string()) {
+    EscapeTo(j.AsString(), out);
+  } else if (j.is_array()) {
+    DumpArray(j.AsArray(), indent, level, out);
+  } else {
+    DumpObject(j.AsObject(), indent, level, out);
+  }
+}
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) v_ = Object{};
+  return std::get<Object>(v_)[key];
+}
+
+const Json* Json::Get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Object& obj = std::get<Object>(v_);
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+void Json::Append(Json v) {
+  if (is_null()) v_ = Array{};
+  std::get<Array>(v_).push_back(std::move(v));
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, indent, 0, &out);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+StatusOr<Json> Json::Parse(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size(), text.data()};
+  auto v = parser.ParseValue(0);
+  if (!v.ok()) return v.status();
+  parser.SkipWs();
+  if (parser.p != parser.end) return parser.Error("trailing content");
+  return v;
+}
+
+}  // namespace chiller

@@ -1,0 +1,83 @@
+// Minimal JSON document: build, serialize, parse. No external dependency.
+//
+// This is not a general-purpose JSON library; it covers what the repo needs:
+// machine-readable benchmark output (BENCH_*.json) and reading it back in
+// tests/tooling. Numbers are stored as double, which is exact for the
+// integer counters the benches emit (< 2^53).
+#ifndef CHILLER_COMMON_JSON_H_
+#define CHILLER_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace chiller {
+
+/// A JSON value: null, bool, number, string, array, or object. Objects keep
+/// keys sorted (std::map) so serialization is deterministic — important for
+/// diffing committed BENCH_*.json files across runs.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}        // NOLINT: implicit by design
+  Json(bool b) : v_(b) {}                      // NOLINT
+  Json(double d) : v_(d) {}                    // NOLINT
+  Json(int i) : v_(static_cast<double>(i)) {}  // NOLINT
+  Json(int64_t i) : v_(static_cast<double>(i)) {}   // NOLINT
+  Json(uint32_t i) : v_(static_cast<double>(i)) {}  // NOLINT
+  Json(uint64_t i) : v_(static_cast<double>(i)) {}  // NOLINT
+  Json(const char* s) : v_(std::string(s)) {}  // NOLINT
+  Json(std::string s) : v_(std::move(s)) {}    // NOLINT
+  Json(Array a) : v_(std::move(a)) {}          // NOLINT
+  Json(Object o) : v_(std::move(o)) {}         // NOLINT
+
+  static Json MakeObject() { return Json(Object{}); }
+  static Json MakeArray() { return Json(Array{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  const Array& AsArray() const { return std::get<Array>(v_); }
+  Array& AsArray() { return std::get<Array>(v_); }
+  const Object& AsObject() const { return std::get<Object>(v_); }
+  Object& AsObject() { return std::get<Object>(v_); }
+
+  /// Object access. `operator[]` creates the key (converting null to an
+  /// object first, so `Json j; j["a"]["b"] = 1;` works); `Get` returns
+  /// nullptr when the value is not an object or lacks the key.
+  Json& operator[](const std::string& key);
+  const Json* Get(const std::string& key) const;
+  bool Has(const std::string& key) const { return Get(key) != nullptr; }
+
+  /// Array append. Converts null to an array first.
+  void Append(Json v);
+
+  /// Serializes the document. `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits a single line.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document; trailing non-whitespace is an error.
+  static StatusOr<Json> Parse(const std::string& text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace chiller
+
+#endif  // CHILLER_COMMON_JSON_H_

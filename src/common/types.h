@@ -59,7 +59,13 @@ struct RecordId {
   }
 
   std::string ToString() const {
-    return "t" + std::to_string(table) + "/k" + std::to_string(key);
+    // Built with += rather than operator+ chains: GCC 12 flags the latter
+    // with a spurious -Wrestrict when inlined (GCC PR 105651).
+    std::string out = "t";
+    out += std::to_string(table);
+    out += "/k";
+    out += std::to_string(key);
+    return out;
   }
 };
 
