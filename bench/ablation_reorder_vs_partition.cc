@@ -4,34 +4,16 @@
 //
 // Grid: {hash layout, chiller layout} x {two-region execution off, on}
 // on the Instacart-like workload at 8 partitions.
-#include "bench/bench_common.h"
+#include <cstdio>
+
+#include "bench/bench_flags.h"
+#include "bench/bench_report.h"
+#include "runner/sweep.h"
 
 namespace chiller::bench {
 namespace {
 
-namespace instacart = workload::instacart;
-
 constexpr uint32_t kPartitions = 8;
-
-double RunOne(const BenchFlags& flags,
-              const instacart::InstacartWorkload::Options& wopts,
-              const char* layout_name,
-              const partition::RecordPartitioner* layout, bool two_region,
-              BenchReport* report) {
-  instacart::InstacartWorkload workload(wopts);
-  const std::string proto = two_region ? "chiller" : "chiller-plain";
-  Env env = MakeInstacartEnv(proto, kPartitions, &workload, layout,
-                             flags.concurrency, flags.seed);
-  auto stats = env.driver->Run(
-      static_cast<SimTime>(flags.warmup_ms * kMillisecond),
-      static_cast<SimTime>(flags.duration_ms * kMillisecond));
-
-  Json params = Json::MakeObject();
-  params["layout"] = layout_name;
-  params["two_region"] = two_region;
-  report->AddRun(proto, std::move(params), stats);
-  return stats.Throughput() / 1000.0;
-}
 
 void Main(const BenchFlags& flags) {
   std::printf(
@@ -49,36 +31,66 @@ void Main(const BenchFlags& flags) {
   report.SetConfig("seed", flags.seed);
   report.SetConfig("tail_theta", flags.theta);
 
-  instacart::InstacartWorkload::Options wopts;
-  wopts.num_products = 20000;
-  wopts.num_customers = 50000;
-  wopts.tail_theta = flags.theta;
-  instacart::InstacartWorkload trace_wl(wopts);
-  auto layouts = BuildInstacartLayouts(&trace_wl, kPartitions,
-                                       /*trace_txns=*/8000,
-                                       /*seed=*/flags.seed + 6);
+  // The grid in run order: (layout, two-region?).
+  struct Cell {
+    const char* layout;
+    bool two_region;
+  };
+  const std::vector<Cell> cells = {{"hash", false},
+                                   {"hash", true},
+                                   {"chiller", false},
+                                   {"chiller", true}};
 
-  const double base =
-      RunOne(flags, wopts, "hash", layouts.hashing.get(), false, &report);
-  const double reorder_only =
-      RunOne(flags, wopts, "hash", layouts.hashing.get(), true, &report);
-  const double partition_only =
-      RunOne(flags, wopts, "chiller",
-             layouts.chiller_out.partitioner.get(), false, &report);
-  const double both =
-      RunOne(flags, wopts, "chiller",
-             layouts.chiller_out.partitioner.get(), true, &report);
+  std::vector<runner::ScenarioSpec> specs;
+  for (const Cell& cell : cells) {
+    runner::ScenarioSpec spec;
+    spec.label = cell.layout;
+    spec.workload = "instacart";
+    spec.protocol = cell.two_region ? "chiller" : "chiller-plain";
+    spec.nodes = kPartitions;
+    spec.engines_per_node = 1;
+    spec.concurrency = flags.concurrency;
+    spec.seed = flags.seed;
+    spec.warmup = static_cast<SimTime>(flags.warmup_ms * kMillisecond);
+    spec.measure = static_cast<SimTime>(flags.duration_ms * kMillisecond);
+    spec.options.Set("num_products", 20000);
+    spec.options.Set("num_customers", 50000);
+    spec.options.Set("tail_theta", flags.theta);
+    spec.options.Set("layout", cell.layout);
+    spec.options.Set("trace_txns", 8000);
+    spec.options.Set("layout_seed", flags.seed + 6);
+    specs.push_back(std::move(spec));
+  }
 
+  runner::SweepExecutor executor(flags.jobs);
+  auto results = executor.Run(specs);
+
+  std::vector<double> tput;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "ablation_reorder: scenario %zu failed: %s\n", i,
+                   results[i].status().ToString().c_str());
+      std::exit(1);
+    }
+    const runner::ScenarioResult& r = results[i].value();
+    Json params = Json::MakeObject();
+    params["layout"] = r.spec.label;
+    params["two_region"] = cells[i].two_region;
+    report.AddRun(r.spec.protocol, std::move(params), r.stats);
+    tput.push_back(r.stats.Throughput() / 1000.0);
+  }
+
+  const double base = tput[0];
   std::printf("%-44s %10.1f (1.00x)\n",
               "hash layout, plain 2PL (baseline)", base);
   std::printf("%-44s %10.1f (%.2fx)\n",
-              "hash layout + two-region re-ordering", reorder_only,
-              reorder_only / base);
+              "hash layout + two-region re-ordering", tput[1],
+              tput[1] / base);
   std::printf("%-44s %10.1f (%.2fx)\n",
-              "chiller layout, plain 2PL", partition_only,
-              partition_only / base);
+              "chiller layout, plain 2PL", tput[2], tput[2] / base);
   std::printf("%-44s %10.1f (%.2fx)\n",
-              "chiller layout + two-region (full system)", both, both / base);
+              "chiller layout + two-region (full system)", tput[3],
+              tput[3] / base);
 
   report.MaybeWrite(flags.emit_json,
                     flags.JsonPathFor("ablation_reorder_vs_partition"));

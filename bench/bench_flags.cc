@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "runner/registry.h"
+
 namespace chiller::bench {
 namespace {
 
@@ -44,26 +46,41 @@ Status ParseNumber(const std::string& flag, const std::string& value, T* out) {
 std::string UsageString(const std::string& bench_name,
                         const BenchFlags& defaults) {
   const BenchFlags& d = defaults;
-  char buf[1024];
-  std::snprintf(
-      buf, sizeof(buf),
-      "usage: %s [flags]\n"
-      "  --protocol=NAME     protocol where selectable: 2pl | occ | chiller |"
-      " chiller-plain (default %s)\n"
-      "  --nodes=N           cluster nodes (default %u)\n"
-      "  --engines=N         engines per node (default %u)\n"
-      "  --concurrency=N     open txns per engine (default %u)\n"
-      "  --warmup-ms=F       simulated warmup, ms (default %g)\n"
-      "  --duration-ms=F     simulated measurement window, ms (default %g)\n"
-      "  --theta=F           Zipf skew where applicable (default %g)\n"
-      "  --seed=N            base RNG seed (default %llu)\n"
-      "  --json=PATH         JSON report path (default BENCH_%s.json)\n"
-      "  --no-json           skip the JSON report\n"
-      "  --help              show this message\n",
-      bench_name.c_str(), d.protocol.c_str(), d.nodes, d.engines,
-      d.concurrency, d.warmup_ms, d.duration_ms, d.theta,
-      static_cast<unsigned long long>(d.seed), bench_name.c_str());
-  return buf;
+  std::string protocols;
+  for (const std::string& name : runner::ProtocolRegistry::Global().Names()) {
+    if (!protocols.empty()) protocols += " | ";
+    protocols += name;
+  }
+  // Two-pass snprintf: the protocol list comes from the registry, so the
+  // text has no static size bound (out-of-tree binaries register more).
+  const auto format = [&](char* buf, size_t size) {
+    return std::snprintf(
+        buf, size,
+        "usage: %s [flags]\n"
+        "  --protocol=NAME     protocol where selectable: %s (default %s)\n"
+        "  --nodes=N           cluster nodes (default %u)\n"
+        "  --engines=N         engines per node (default %u)\n"
+        "  --concurrency=N     open txns per engine (default %u)\n"
+        "  --warmup-ms=F       simulated warmup, ms (default %g)\n"
+        "  --duration-ms=F     simulated measurement window, ms (default %g)\n"
+        "  --theta=F           Zipf skew where applicable (default %g)\n"
+        "  --seed=N            base RNG seed (default %llu)\n"
+        "  --jobs=N            sweep worker threads, 0 = all hardware threads"
+        " (default %u)\n"
+        "  --json=PATH         JSON report path (default BENCH_%s.json)\n"
+        "  --no-json           skip the JSON report\n"
+        "  --list-protocols    print registered protocols and exit\n"
+        "  --list-workloads    print registered workloads and exit\n"
+        "  --help              show this message\n",
+        bench_name.c_str(), protocols.c_str(), d.protocol.c_str(), d.nodes,
+        d.engines, d.concurrency, d.warmup_ms, d.duration_ms, d.theta,
+        static_cast<unsigned long long>(d.seed), d.jobs, bench_name.c_str());
+  };
+  const int needed = format(nullptr, 0);
+  std::string out(static_cast<size_t>(needed) + 1, '\0');
+  format(out.data(), out.size());
+  out.resize(static_cast<size_t>(needed));
+  return out;
 }
 
 Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
@@ -77,6 +94,10 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
     if (name == "help") {
       out->help = true;
       return Status::OK();
+    } else if (name == "list-protocols") {
+      out->list_protocols = true;
+    } else if (name == "list-workloads") {
+      out->list_workloads = true;
     } else if (name == "no-json") {
       out->emit_json = false;
     } else if (name == "protocol") {
@@ -103,6 +124,8 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
       st = ParseNumber(name, value, &out->theta);
     } else if (name == "seed") {
       st = ParseNumber(name, value, &out->seed);
+    } else if (name == "jobs") {
+      st = ParseNumber(name, value, &out->jobs);
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     }
@@ -132,6 +155,19 @@ BenchFlags ParseBenchFlagsOrExit(int argc, const char* const* argv,
   }
   if (flags.help) {
     std::fputs(UsageString(bench_name, defaults).c_str(), stdout);
+    std::exit(0);
+  }
+  if (flags.list_protocols || flags.list_workloads) {
+    if (flags.list_protocols) {
+      for (const auto& n : runner::ProtocolRegistry::Global().Names()) {
+        std::printf("%s\n", n.c_str());
+      }
+    }
+    if (flags.list_workloads) {
+      for (const auto& n : runner::WorkloadRegistry::Global().Names()) {
+        std::printf("%s\n", n.c_str());
+      }
+    }
     std::exit(0);
   }
   return flags;

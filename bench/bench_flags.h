@@ -3,7 +3,7 @@
 // Every bench accepts the same flag set so runs are comparable and
 // scriptable:
 //
-//   --protocol=NAME       2pl | occ | chiller | chiller-plain (where used)
+//   --protocol=NAME       a registered protocol (see --list-protocols)
 //   --nodes=N             cluster nodes
 //   --engines=N           engines (cores/partitions) per node
 //   --concurrency=N       open transactions per engine
@@ -11,9 +11,12 @@
 //   --duration-ms=N       simulated measurement window
 //   --theta=F             Zipf skew for workloads that take one
 //   --seed=N              base RNG seed
+//   --jobs=N              sweep worker threads (0 = all hardware threads)
 //   --json=PATH           where to write the machine-readable report
 //                         (default BENCH_<name>.json in the cwd)
 //   --no-json             disable the JSON report
+//   --list-protocols      print the protocol registry, one per line, exit 0
+//   --list-workloads      print the workload registry, one per line, exit 0
 //   --help                print usage and exit 0
 //
 // Benches sweep their own x-axis (concurrency, partitions, % distributed);
@@ -39,9 +42,14 @@ struct BenchFlags {
   double duration_ms = 15.0;
   double theta = 0.99;
   uint64_t seed = 1;
+  /// Sweep worker threads; 0 = one per hardware thread. Results are
+  /// byte-identical for every value (see runner::SweepExecutor).
+  uint32_t jobs = 1;
   std::string json_path;  ///< empty = BENCH_<bench name>.json
   bool emit_json = true;
   bool help = false;      ///< --help was given; caller prints usage, exits 0
+  bool list_protocols = false;  ///< print registry + exit (handled by OrExit)
+  bool list_workloads = false;  ///< print registry + exit (handled by OrExit)
 
   /// The --json override, or the default path for `bench_name`.
   std::string JsonPathFor(const std::string& bench_name) const {

@@ -22,13 +22,35 @@
 #ifndef CHILLER_BENCH_BENCH_REPORT_H_
 #define CHILLER_BENCH_BENCH_REPORT_H_
 
+#include <cstdio>
 #include <string>
+#include <vector>
 
 #include "cc/protocol.h"
 #include "common/json.h"
 #include "common/status.h"
 
 namespace chiller::bench {
+
+/// Prints a human-readable series row: label followed by one value per
+/// column, formatted with `fmt` (e.g. "%8.3f").
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values, const char* fmt) {
+  std::printf("%-22s", label.c_str());
+  for (double v : values) {
+    std::printf("  ");
+    std::printf(fmt, v);
+  }
+  std::printf("\n");
+}
+
+/// Prints the x-axis header row matching PrintRow's layout.
+inline void PrintHeader(const std::string& label,
+                        const std::vector<double>& columns) {
+  std::printf("%-22s", label.c_str());
+  for (double c : columns) std::printf("  %8g", c);
+  std::printf("\n");
+}
 
 /// Flattens a measurement window into the uniform result-row shape:
 /// throughput, abort rate, distributed ratio, commit/abort counters, and

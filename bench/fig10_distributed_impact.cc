@@ -5,38 +5,19 @@
 // Paper expectation: every baseline degrades steeply (especially with 5
 // open transactions, where longer lock spans amplify existing conflicts);
 // Chiller is highest and degrades < 20% end to end.
-#include "bench/bench_common.h"
+#include <cstdio>
+
+#include "bench/bench_flags.h"
+#include "bench/bench_report.h"
+#include "runner/sweep.h"
 
 namespace chiller::bench {
 namespace {
 
-namespace tpcc = workload::tpcc;
-
-double RunOne(const BenchFlags& flags, const std::string& proto,
-              uint32_t concurrency, double pct, BenchReport* report) {
-  tpcc::TpccWorkload::Options wopts;
-  wopts.num_warehouses = flags.nodes * flags.engines;
-  wopts.pct_new_order = 50;
-  wopts.pct_payment = 50;
-  wopts.pct_order_status = 0;
-  wopts.pct_delivery = 0;
-  wopts.pct_stock_level = 0;
-  wopts.remote_new_order_prob = pct / 100.0;
-  wopts.remote_payment_prob = pct / 100.0;
-  tpcc::TpccWorkload workload(wopts);
-  Env env = MakeTpccEnv(proto, flags.nodes, flags.engines, &workload,
-                        concurrency,
-                        /*seed=*/flags.seed + static_cast<uint64_t>(pct));
-  auto stats = env.driver->Run(
-      static_cast<SimTime>(flags.warmup_ms * kMillisecond),
-      static_cast<SimTime>(flags.duration_ms * kMillisecond));
-
-  Json params = Json::MakeObject();
-  params["pct_distributed"] = pct;
-  params["concurrency"] = concurrency;
-  report->AddRun(proto, std::move(params), stats);
-  return stats.Throughput() / 1e6;
-}
+struct Series {
+  const char* proto;
+  uint32_t concurrency;
+};
 
 void Main(const BenchFlags& flags) {
   std::printf(
@@ -53,24 +34,74 @@ void Main(const BenchFlags& flags) {
   report.SetConfig("duration_ms", flags.duration_ms);
   report.SetConfig("seed", flags.seed);
 
-  std::vector<double> pcts = {0, 20, 40, 60, 80, 100};
-  std::vector<double> twopl1, occ1, twopl5, occ5, chiller5;
+  const std::vector<double> pcts = {0, 20, 40, 60, 80, 100};
+  const std::vector<Series> series = {{"2pl", 1},
+                                      {"occ", 1},
+                                      {"2pl", 5},
+                                      {"occ", 5},
+                                      {"chiller", 5}};
+
+  std::vector<runner::ScenarioSpec> specs;
   for (double pct : pcts) {
-    twopl1.push_back(RunOne(flags, "2pl", 1, pct, &report));
-    occ1.push_back(RunOne(flags, "occ", 1, pct, &report));
-    twopl5.push_back(RunOne(flags, "2pl", 5, pct, &report));
-    occ5.push_back(RunOne(flags, "occ", 5, pct, &report));
-    chiller5.push_back(RunOne(flags, "chiller", 5, pct, &report));
-    std::fprintf(stderr, "  [fig10] %.0f%% distributed done\n", pct);
+    for (const Series& s : series) {
+      runner::ScenarioSpec spec;
+      spec.workload = "tpcc";
+      spec.protocol = s.proto;
+      spec.nodes = flags.nodes;
+      spec.engines_per_node = flags.engines;
+      spec.concurrency = s.concurrency;
+      spec.seed = flags.seed + static_cast<uint64_t>(pct);
+      spec.warmup = static_cast<SimTime>(flags.warmup_ms * kMillisecond);
+      spec.measure = static_cast<SimTime>(flags.duration_ms * kMillisecond);
+      spec.options.Set("pct_new_order", 50);
+      spec.options.Set("pct_payment", 50);
+      spec.options.Set("pct_order_status", 0);
+      spec.options.Set("pct_delivery", 0);
+      spec.options.Set("pct_stock_level", 0);
+      spec.options.Set("remote_new_order_prob", pct / 100.0);
+      spec.options.Set("remote_payment_prob", pct / 100.0);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  runner::SweepExecutor executor(flags.jobs);
+  size_t completed = 0;  // progress callbacks are serialized by the executor
+  auto results = executor.Run(
+      specs, [&](size_t i, const StatusOr<runner::ScenarioResult>& r) {
+        std::fprintf(stderr,
+                     "  [fig10] %s conc=%u %.0f%% distributed %s (%zu/%zu)\n",
+                     specs[i].protocol.c_str(), specs[i].concurrency,
+                     pcts[i / series.size()],
+                     r.ok() ? "done" : r.status().ToString().c_str(),
+                     ++completed, specs.size());
+      });
+
+  // One throughput series per (protocol, concurrency) pair, in pct order.
+  std::vector<std::vector<double>> tputs(series.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "fig10: scenario %zu failed: %s\n", i,
+                   results[i].status().ToString().c_str());
+      std::exit(1);
+    }
+    const runner::ScenarioResult& r = results[i].value();
+    const double pct = pcts[i / series.size()];
+
+    Json params = Json::MakeObject();
+    params["pct_distributed"] = pct;
+    params["concurrency"] = r.spec.concurrency;
+    report.AddRun(r.spec.protocol, std::move(params), r.stats);
+    tputs[i % series.size()].push_back(r.stats.Throughput() / 1e6);
   }
 
   PrintHeader("% distributed txns", pcts);
-  PrintRow("2PL (1 txn)", twopl1, "%8.3f");
-  PrintRow("OCC (1 txn)", occ1, "%8.3f");
-  PrintRow("2PL (5 txns)", twopl5, "%8.3f");
-  PrintRow("OCC (5 txns)", occ5, "%8.3f");
-  PrintRow("Chiller", chiller5, "%8.3f");
+  PrintRow("2PL (1 txn)", tputs[0], "%8.3f");
+  PrintRow("OCC (1 txn)", tputs[1], "%8.3f");
+  PrintRow("2PL (5 txns)", tputs[2], "%8.3f");
+  PrintRow("OCC (5 txns)", tputs[3], "%8.3f");
+  PrintRow("Chiller", tputs[4], "%8.3f");
 
+  const std::vector<double>& chiller5 = tputs[4];
   std::printf("\nChiller degradation 0%% -> 100%%: %.1f%% (paper: <20%%)\n",
               100.0 * (1.0 - chiller5.back() / chiller5.front()));
 

@@ -4,32 +4,23 @@
 //
 // Paper expectation: Schism ~ +50% over hashing but neither scales with
 // partitions; Chiller scales almost linearly and is highest throughout.
-#include "bench/bench_common.h"
+#include <cstdio>
+
+#include "bench/bench_flags.h"
+#include "bench/bench_report.h"
+#include "runner/sweep.h"
 
 namespace chiller::bench {
 namespace {
 
-namespace instacart = workload::instacart;
-
-double RunLayout(const BenchFlags& flags, const std::string& layout_name,
-                 uint32_t k, const instacart::InstacartWorkload::Options& wopts,
-                 const partition::RecordPartitioner* layout,
-                 BenchReport* report) {
-  instacart::InstacartWorkload workload(wopts);
-  Env env = MakeInstacartEnv(flags.protocol, k, &workload, layout,
-                             flags.concurrency, /*seed=*/flags.seed + k);
-  auto stats = env.driver->Run(
-      static_cast<SimTime>(flags.warmup_ms * kMillisecond),
-      static_cast<SimTime>(flags.duration_ms * kMillisecond));
-
-  Json params = Json::MakeObject();
-  params["partitions"] = k;
-  params["layout"] = layout_name;
-  report->AddRun(flags.protocol, std::move(params), stats);
-  return stats.Throughput() / 1000.0;  // K txns/sec
-}
-
 void Main(const BenchFlags& flags) {
+  if (!runner::ProtocolRegistry::Global().Has(flags.protocol)) {
+    // Fail before the sweep: a typo'd protocol would otherwise build 21
+    // scenarios' worth of layouts just to report the same error 21 times.
+    std::fprintf(stderr, "fig7: unknown protocol '%s' (see --list-protocols)\n",
+                 flags.protocol.c_str());
+    std::exit(1);
+  }
   std::printf(
       "Figure 7 — Instacart NewOrder throughput (K txns/sec) vs partitions\n"
       "paper shape: Chiller highest and ~linear; Schism ~+50%% over hash;\n"
@@ -43,27 +34,61 @@ void Main(const BenchFlags& flags) {
   report.SetConfig("seed", flags.seed);
   report.SetConfig("tail_theta", flags.theta);
 
-  instacart::InstacartWorkload::Options wopts;
-  wopts.num_products = 20000;
-  wopts.num_customers = 50000;
-  wopts.tail_theta = flags.theta;
+  const std::vector<double> ks = {2, 3, 4, 5, 6, 7, 8};
+  const std::vector<std::string> layouts = {"hash", "schism", "chiller"};
 
-  std::vector<double> ks = {2, 3, 4, 5, 6, 7, 8};
-  std::vector<double> hash_s, schism_s, chiller_s;
+  std::vector<runner::ScenarioSpec> specs;
   for (double kd : ks) {
     const uint32_t k = static_cast<uint32_t>(kd);
-    instacart::InstacartWorkload trace_wl(wopts);
-    auto layouts = BuildInstacartLayouts(&trace_wl, k, /*trace_txns=*/8000,
-                                         /*seed=*/flags.seed + 6);
-    hash_s.push_back(
-        RunLayout(flags, "hash", k, wopts, layouts.hashing.get(), &report));
-    schism_s.push_back(
-        RunLayout(flags, "schism", k, wopts, layouts.schism.get(), &report));
-    chiller_s.push_back(RunLayout(flags, "chiller", k, wopts,
-                                  layouts.chiller_out.partitioner.get(),
-                                  &report));
-    std::fprintf(stderr, "  [fig7] k=%u done\n", k);
+    for (const std::string& layout : layouts) {
+      runner::ScenarioSpec spec;
+      spec.label = layout;
+      spec.workload = "instacart";
+      spec.protocol = flags.protocol;
+      spec.nodes = k;
+      spec.engines_per_node = 1;
+      spec.concurrency = flags.concurrency;
+      spec.seed = flags.seed + k;
+      spec.warmup = static_cast<SimTime>(flags.warmup_ms * kMillisecond);
+      spec.measure = static_cast<SimTime>(flags.duration_ms * kMillisecond);
+      spec.options.Set("num_products", 20000);
+      spec.options.Set("num_customers", 50000);
+      spec.options.Set("tail_theta", flags.theta);
+      spec.options.Set("layout", layout);
+      spec.options.Set("trace_txns", 8000);
+      spec.options.Set("layout_seed", flags.seed + 6);
+      specs.push_back(std::move(spec));
+    }
   }
+
+  runner::SweepExecutor executor(flags.jobs);
+  size_t completed = 0;  // progress callbacks are serialized by the executor
+  auto results = executor.Run(
+      specs, [&](size_t i, const StatusOr<runner::ScenarioResult>& r) {
+        std::fprintf(stderr, "  [fig7] k=%u layout=%s %s (%zu/%zu)\n",
+                     specs[i].nodes, specs[i].label.c_str(),
+                     r.ok() ? "done" : r.status().ToString().c_str(),
+                     ++completed, specs.size());
+      });
+
+  std::vector<std::vector<double>> tput(layouts.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "fig7: scenario %zu failed: %s\n", i,
+                   results[i].status().ToString().c_str());
+      std::exit(1);
+    }
+    const runner::ScenarioResult& r = results[i].value();
+
+    Json params = Json::MakeObject();
+    params["partitions"] = r.spec.partitions();
+    params["layout"] = r.spec.label;
+    report.AddRun(r.spec.protocol, std::move(params), r.stats);
+    tput[i % layouts.size()].push_back(r.stats.Throughput() / 1000.0);
+  }
+  const std::vector<double>& hash_s = tput[0];
+  const std::vector<double>& schism_s = tput[1];
+  const std::vector<double>& chiller_s = tput[2];
 
   PrintHeader("partitions", ks);
   PrintRow("Hashing", hash_s, "%8.1f");

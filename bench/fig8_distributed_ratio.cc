@@ -6,12 +6,26 @@
 // more partitions); hashing highest. Chiller wins Figure 7 anyway — the
 // point of the paper: distributed-transaction count is the wrong objective
 // on fast networks.
-#include "bench/bench_common.h"
+//
+// No simulator runs here — each grid point builds the three layouts and
+// evaluates them on a held-out trace, fanned across the --jobs pool.
+#include <cstdio>
+
+#include "bench/bench_flags.h"
+#include "bench/bench_report.h"
+#include "partition/metrics.h"
+#include "runner/sweep.h"
+#include "workload/instacart.h"
 
 namespace chiller::bench {
 namespace {
 
 namespace instacart = workload::instacart;
+
+struct KPoint {
+  double dist_hash, dist_schism, dist_chiller;
+  double resid_hash, resid_schism, resid_chiller;
+};
 
 void Main(const BenchFlags& flags) {
   std::printf(
@@ -29,40 +43,55 @@ void Main(const BenchFlags& flags) {
   wopts.num_customers = 50000;
   wopts.tail_theta = flags.theta;
 
-  std::vector<double> ks = {2, 3, 4, 5, 6, 7, 8};
-  std::vector<double> hash_s, schism_s, chiller_s, resid_chiller, resid_hash,
-      resid_schism;
-  for (double kd : ks) {
-    const uint32_t k = static_cast<uint32_t>(kd);
+  const std::vector<double> ks = {2, 3, 4, 5, 6, 7, 8};
+  auto points = runner::ParallelMap(flags.jobs, ks.size(), [&](size_t i) {
+    const uint32_t k = static_cast<uint32_t>(ks[i]);
     instacart::InstacartWorkload wl(wopts);
-    auto layouts = BuildInstacartLayouts(&wl, k, /*trace_txns=*/8000,
-                                         /*seed=*/flags.seed + 6);
+    auto layouts = instacart::BuildInstacartLayouts(&wl, k, /*trace_txns=*/8000,
+                                                    /*seed=*/flags.seed + 6);
     // Evaluate on a fresh sample from the same distribution (test set).
     // flags.seed + 999 keeps the default (seed=1) identical to the
     // pre-harness Rng(1000 + k) runs.
     Rng rng(flags.seed + 999 + k);
     auto eval = wl.GenerateTrace(8000, &rng);
-    hash_s.push_back(partition::DistributedRatio(eval, *layouts.hashing));
-    schism_s.push_back(partition::DistributedRatio(eval, *layouts.schism));
-    chiller_s.push_back(
-        partition::DistributedRatio(eval, *layouts.chiller_out.partitioner));
     partition::StatsCollector stats;
     for (const auto& t : eval) stats.ObserveTrace(t);
-    resid_hash.push_back(
-        partition::ResidualContention(eval, *layouts.hashing, stats, 16.0));
-    resid_schism.push_back(
-        partition::ResidualContention(eval, *layouts.schism, stats, 16.0));
-    resid_chiller.push_back(partition::ResidualContention(
-        eval, *layouts.chiller_out.partitioner, stats, 16.0));
+
+    KPoint p;
+    p.dist_hash = partition::DistributedRatio(eval, *layouts.hashing);
+    p.dist_schism = partition::DistributedRatio(eval, *layouts.schism);
+    p.dist_chiller =
+        partition::DistributedRatio(eval, *layouts.chiller_out.partitioner);
+    p.resid_hash =
+        partition::ResidualContention(eval, *layouts.hashing, stats, 16.0);
+    p.resid_schism =
+        partition::ResidualContention(eval, *layouts.schism, stats, 16.0);
+    p.resid_chiller = partition::ResidualContention(
+        eval, *layouts.chiller_out.partitioner, stats, 16.0);
+    std::fprintf(stderr, "  [fig8] k=%u done\n", k);
+    return p;
+  });
+
+  std::vector<double> hash_s, schism_s, chiller_s, resid_hash, resid_schism,
+      resid_chiller;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const KPoint& p = points[i];
+    const uint32_t k = static_cast<uint32_t>(ks[i]);
+    hash_s.push_back(p.dist_hash);
+    schism_s.push_back(p.dist_schism);
+    chiller_s.push_back(p.dist_chiller);
+    resid_hash.push_back(p.resid_hash);
+    resid_schism.push_back(p.resid_schism);
+    resid_chiller.push_back(p.resid_chiller);
     struct LayoutRow {
       const char* layout;
       double dist;
       double resid;
     };
     for (const LayoutRow& r :
-         {LayoutRow{"hash", hash_s.back(), resid_hash.back()},
-          LayoutRow{"schism", schism_s.back(), resid_schism.back()},
-          LayoutRow{"chiller", chiller_s.back(), resid_chiller.back()}}) {
+         {LayoutRow{"hash", p.dist_hash, p.resid_hash},
+          LayoutRow{"schism", p.dist_schism, p.resid_schism},
+          LayoutRow{"chiller", p.dist_chiller, p.resid_chiller}}) {
       Json row = Json::MakeObject();
       row["params"]["partitions"] = k;
       row["params"]["layout"] = r.layout;

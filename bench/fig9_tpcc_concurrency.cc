@@ -9,7 +9,13 @@
 //  (c) 2PL per-class abort rates — Payment approaches 100% (starved by
 //      NewOrder's shared warehouse locks), NewOrder moderate, StockLevel
 //      lowest.
-#include "bench/bench_common.h"
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_flags.h"
+#include "bench/bench_report.h"
+#include "runner/sweep.h"
+#include "workload/tpcc/tpcc_workload.h"
 
 namespace chiller::bench {
 namespace {
@@ -23,29 +29,6 @@ struct Point {
   double abort_payment;
   double abort_stock_level;
 };
-
-Point RunOne(const BenchFlags& flags, const std::string& proto,
-             uint32_t concurrency, BenchReport* report) {
-  tpcc::TpccWorkload workload(tpcc::TpccWorkload::Options{
-      .num_warehouses = flags.nodes * flags.engines});
-  Env env = MakeTpccEnv(proto, flags.nodes, flags.engines, &workload,
-                        concurrency, /*seed=*/flags.seed + concurrency);
-  auto stats = env.driver->Run(
-      static_cast<SimTime>(flags.warmup_ms * kMillisecond),
-      static_cast<SimTime>(flags.duration_ms * kMillisecond));
-
-  Json params = Json::MakeObject();
-  params["concurrency"] = concurrency;
-  report->AddRun(proto, std::move(params), stats);
-
-  Point p;
-  p.throughput_m = stats.Throughput() / 1e6;
-  p.abort_rate = stats.AbortRate();
-  p.abort_new_order = stats.classes[tpcc::kNewOrderTxn].AbortRate();
-  p.abort_payment = stats.classes[tpcc::kPaymentTxn].AbortRate();
-  p.abort_stock_level = stats.classes[tpcc::kStockLevelTxn].AbortRate();
-  return p;
-}
 
 void Main(const BenchFlags& flags) {
   std::printf(
@@ -62,14 +45,64 @@ void Main(const BenchFlags& flags) {
   report.SetConfig("duration_ms", flags.duration_ms);
   report.SetConfig("seed", flags.seed);
 
-  std::vector<double> conc = {1, 2, 3, 4, 5, 6, 7, 8};
-  std::vector<Point> twopl, occ, chiller;
+  const std::vector<double> conc = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<std::string> protocols = {"2pl", "occ", "chiller"};
+
+  std::vector<runner::ScenarioSpec> specs;
   for (double cd : conc) {
     const uint32_t c = static_cast<uint32_t>(cd);
-    twopl.push_back(RunOne(flags, "2pl", c, &report));
-    occ.push_back(RunOne(flags, "occ", c, &report));
-    chiller.push_back(RunOne(flags, "chiller", c, &report));
-    std::fprintf(stderr, "  [fig9] concurrency=%u done\n", c);
+    for (const std::string& proto : protocols) {
+      runner::ScenarioSpec spec;
+      spec.label = proto;
+      spec.workload = "tpcc";
+      spec.protocol = proto;
+      spec.nodes = flags.nodes;
+      spec.engines_per_node = flags.engines;
+      spec.concurrency = c;
+      spec.seed = flags.seed + c;
+      spec.warmup = static_cast<SimTime>(flags.warmup_ms * kMillisecond);
+      spec.measure = static_cast<SimTime>(flags.duration_ms * kMillisecond);
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  runner::SweepExecutor executor(flags.jobs);
+  size_t completed = 0;  // progress callbacks are serialized by the executor
+  auto results = executor.Run(
+      specs, [&](size_t i, const StatusOr<runner::ScenarioResult>& r) {
+        std::fprintf(stderr, "  [fig9] %s concurrency=%u %s (%zu/%zu)\n",
+                     specs[i].protocol.c_str(), specs[i].concurrency,
+                     r.ok() ? "done" : r.status().ToString().c_str(),
+                     ++completed, specs.size());
+      });
+  const double sweep_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+
+  std::vector<Point> twopl, occ, chiller;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "fig9: scenario %zu failed: %s\n", i,
+                   results[i].status().ToString().c_str());
+      std::exit(1);
+    }
+    const runner::ScenarioResult& r = results[i].value();
+    const cc::RunStats& stats = r.stats;
+
+    Json params = Json::MakeObject();
+    params["concurrency"] = r.spec.concurrency;
+    report.AddRun(r.spec.protocol, std::move(params), stats);
+
+    Point p;
+    p.throughput_m = stats.Throughput() / 1e6;
+    p.abort_rate = stats.AbortRate();
+    p.abort_new_order = stats.ClassAbortRate(tpcc::kNewOrderTxn);
+    p.abort_payment = stats.ClassAbortRate(tpcc::kPaymentTxn);
+    p.abort_stock_level = stats.ClassAbortRate(tpcc::kStockLevelTxn);
+    if (r.spec.protocol == "2pl") twopl.push_back(p);
+    if (r.spec.protocol == "occ") occ.push_back(p);
+    if (r.spec.protocol == "chiller") chiller.push_back(p);
   }
 
   auto series = [&](const std::vector<Point>& pts, auto field) {
@@ -104,6 +137,9 @@ void Main(const BenchFlags& flags) {
   PrintRow("Stock-level",
            series(twopl, [](auto& p) { return p.abort_stock_level; }),
            "%8.3f");
+
+  std::printf("\nsweep: %zu scenarios in %.1f s wall-clock (--jobs %u)\n",
+              specs.size(), sweep_ms / 1000.0, executor.jobs());
 
   report.MaybeWrite(flags.emit_json, flags.JsonPathFor("fig9"));
 }

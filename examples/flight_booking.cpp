@@ -1,13 +1,14 @@
 // Walks through the paper's Figure 4 end to end: the stored procedure, its
 // dependency graph, the run-time two-region decision, and one execution
-// trace.
+// trace on a cluster wired by ScenarioRunner::Wire (the runner's
+// inspection entry point — it hands back the live protocol so this example
+// can read the two-region counters after the run).
 //
 //   $ ./build/examples/flight_booking
 #include <cstdio>
 
-#include "cc/cluster.h"
-#include "cc/driver.h"
 #include "chiller/two_region.h"
+#include "runner/runner.h"
 #include "txn/dependency_graph.h"
 #include "workload/flight.h"
 
@@ -61,34 +62,42 @@ int main() {
   std::printf("\n\n");
 
   // --- execute it on a live simulated cluster ---
-  cc::ClusterConfig config;
-  config.topology = net::Topology{.num_nodes = 4,
-                                  .engines_per_node = 1,
-                                  .replication_degree = 2};
-  config.schema = workload::FlightSchema::Specs();
-  cc::Cluster cluster(config);
-  workload::FlightWorkload workload({});
-  workload.ForEachRecord([&](const RecordId& rid, const storage::Record& r) {
-    cluster.LoadRecord(rid, r, partitioner);
-  });
-  cc::ReplicationManager repl(&cluster);
-  core::ChillerProtocol protocol(&cluster, &partitioner, &repl);
-  cc::Driver driver(&cluster, &protocol, &workload, 2);
-  auto stats = driver.Run(1 * kMillisecond, 20 * kMillisecond);
-  driver.DrainAndStop();
+  runner::ScenarioSpec spec;
+  spec.workload = "flight";
+  spec.protocol = "chiller";
+  spec.nodes = 4;
+  spec.engines_per_node = 1;
+  spec.concurrency = 2;
+  spec.warmup = 1 * kMillisecond;
+  spec.measure = 20 * kMillisecond;
 
+  auto env = runner::ScenarioRunner::Wire(spec);
+  if (!env.ok()) {
+    std::fprintf(stderr, "%s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = env->driver->Run(spec.warmup, spec.measure);
+  env->driver->DrainAndStop();
+
+  const auto* protocol =
+      dynamic_cast<const core::ChillerProtocol*>(env->protocol.get());
+  if (protocol == nullptr) {
+    std::fprintf(stderr, "registry returned a non-Chiller protocol\n");
+    return 1;
+  }
   std::printf("executed %llu bookings (%.1f%% as two-region, %.1f%% "
               "fallback 2PL)\n",
               static_cast<unsigned long long>(stats.TotalCommits()),
-              100.0 * protocol.counters().two_region_txns /
-                  (protocol.counters().two_region_txns +
-                   protocol.counters().fallback_txns),
-              100.0 * protocol.counters().fallback_txns /
-                  (protocol.counters().two_region_txns +
-                   protocol.counters().fallback_txns));
+              100.0 * protocol->counters().two_region_txns /
+                  (protocol->counters().two_region_txns +
+                   protocol->counters().fallback_txns),
+              100.0 * protocol->counters().fallback_txns /
+                  (protocol->counters().two_region_txns +
+                   protocol->counters().fallback_txns));
   std::printf("inner aborts: %llu, outer aborts: %llu\n",
-              static_cast<unsigned long long>(protocol.counters().inner_aborts),
               static_cast<unsigned long long>(
-                  protocol.counters().outer_aborts));
+                  protocol->counters().inner_aborts),
+              static_cast<unsigned long long>(
+                  protocol->counters().outer_aborts));
   return 0;
 }

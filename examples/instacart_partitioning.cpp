@@ -1,13 +1,12 @@
 // Runs the full contention-centric partitioning pipeline (Section 4) on
 // the Instacart-like grocery workload and compares the resulting layout
-// against Schism and hashing.
+// against Schism and hashing, using the shared layout builder that the
+// scenario runner's instacart workload also uses.
 //
 //   $ ./build/examples/instacart_partitioning
 #include <cstdio>
 
-#include "partition/chiller_partitioner.h"
 #include "partition/metrics.h"
-#include "partition/schism.h"
 #include "workload/instacart.h"
 
 using namespace chiller;
@@ -19,14 +18,17 @@ int main() {
   wopts.num_customers = 50000;
   instacart::InstacartWorkload workload(wopts);
 
-  // 1. Capture a workload trace (the sampling statistics service).
-  Rng rng(7);
-  auto traces = workload.GenerateTrace(10000, &rng);
-  partition::StatsCollector stats;
-  for (const auto& t : traces) stats.ObserveTrace(t);
+  // 1. Capture a workload trace and build all three layouts for 8
+  //    partitions (the sampling statistics service + Section 4 pipeline;
+  //    the same call backs every "layout" option of the runner registry's
+  //    instacart workload).
+  const uint32_t k = 8;
+  auto layouts = instacart::BuildInstacartLayouts(&workload, k,
+                                                  /*trace_txns=*/10000,
+                                                  /*seed=*/7);
 
   // 2. Contention likelihoods (Section 4.1).
-  auto pcs = stats.ContentionLikelihoods(/*lock_window_txns=*/16.0);
+  auto pcs = layouts.stats.ContentionLikelihoods(/*lock_window_txns=*/16.0);
   std::printf("hottest records (Poisson conflict model):\n");
   for (int i = 0; i < 5; ++i) {
     std::printf("  product %-8llu Pc = %.3f\n",
@@ -34,19 +36,8 @@ int main() {
                 pcs[i].second);
   }
 
-  // 3. Build all three layouts for 8 partitions.
-  const uint32_t k = 8;
-  partition::ChillerPartitioner::Options copts;
-  copts.k = k;
-  copts.hot_threshold = 0.01;
-  copts.metric = partition::LoadMetric::kAccessCount;
-  copts.fallback_fn = instacart::InstacartFallback;
-  auto chiller = partition::ChillerPartitioner::Build(traces, copts);
-  auto schism = partition::SchismPartitioner::Build(
-      traces, {.k = k, .fallback_fn = instacart::InstacartFallback});
-  partition::HashPartitioner hash(k, instacart::InstacartFallback);
-
-  // 4. Compare: the objective each scheme actually optimizes.
+  // 3. Compare: the objective each scheme actually optimizes, evaluated on
+  //    a fresh sample from the same distribution.
   Rng eval_rng(8);
   auto eval = workload.GenerateTrace(10000, &eval_rng);
   std::printf("\n%-10s %16s %18s %14s %12s\n", "scheme", "distributed-ratio",
@@ -55,18 +46,21 @@ int main() {
                     size_t entries, size_t edges) {
     std::printf("%-10s %16.3f %18.1f %14zu %12zu\n", name,
                 partition::DistributedRatio(eval, p),
-                partition::ResidualContention(eval, p, stats, 16.0), entries,
-                edges);
+                partition::ResidualContention(eval, p, layouts.stats, 16.0),
+                entries, edges);
   };
-  report("hash", hash, 0, 0);
-  report("schism", *schism.partitioner, schism.report.lookup_entries,
-         schism.report.graph_edges);
-  report("chiller", *chiller.partitioner, chiller.report.lookup_entries,
-         chiller.report.graph_edges);
+  report("hash", *layouts.hash_base, 0, 0);
+  report("schism", *layouts.schism_out.partitioner,
+         layouts.schism_out.report.lookup_entries,
+         layouts.schism_out.report.graph_edges);
+  report("chiller", *layouts.chiller_out.partitioner,
+         layouts.chiller_out.report.lookup_entries,
+         layouts.chiller_out.report.graph_edges);
 
   std::printf("\nchiller hot lookup entries: %zu of %zu records seen "
               "(Section 4.4 optimization)\n",
-              chiller.report.hot_entries, schism.report.lookup_entries);
+              layouts.chiller_out.report.hot_entries,
+              layouts.schism_out.report.lookup_entries);
   std::printf("note: chiller accepts MORE distributed transactions yet has "
               "far LESS residual contention —\nthe paper's thesis in one "
               "table.\n");

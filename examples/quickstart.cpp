@@ -1,59 +1,59 @@
-// Quickstart: build a 3-node simulated cluster, run the paper's Figure 5
-// mini-workload under 2PL and under Chiller, and print the stats.
+// Quickstart: declare two scenarios — the paper's Figure 5 mini-workload
+// under plain 2PL+2PC and under Chiller two-region execution — and run
+// them through the scenario runner.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
-#include <memory>
 
-#include "cc/cluster.h"
-#include "cc/driver.h"
-#include "cc/twopl.h"
-#include "chiller/two_region.h"
-#include "common/random.h"
-#include "partition/lookup_table.h"
-#include "workload/flight.h"
+#include "runner/sweep.h"
 
 using namespace chiller;
 
 int main() {
-  // 1. Describe the cluster: 3 nodes, one engine each, one replica per
-  //    partition, RDMA-class network defaults.
-  cc::ClusterConfig config;
-  config.topology = net::Topology{.num_nodes = 3,
-                                  .engines_per_node = 1,
-                                  .replication_degree = 2};
-  config.schema = workload::FlightSchema::Specs();
-
-  // 2. Pick a workload and a partitioning. The flight-booking workload is
-  //    the paper's Figure 4 running example; its partitioner places seats
-  //    with their flight and marks the hot flights.
-  workload::FlightWorkload::Options wopts;
-  wopts.hot_flights = 6;
-  workload::FlightWorkload workload(wopts);
-  workload::FlightPartitioner partitioner(3, wopts.hot_flights);
-
-  auto run = [&](const char* name, bool two_region) {
-    cc::Cluster cluster(config);
-    workload.ForEachRecord(
-        [&](const RecordId& rid, const storage::Record& rec) {
-          cluster.LoadRecord(rid, rec, partitioner);
-        });
-    cc::ReplicationManager repl(&cluster);
-    core::ChillerProtocol protocol(&cluster, &partitioner, &repl, two_region);
-    cc::Driver driver(&cluster, &protocol, &workload, /*concurrent=*/4);
-    auto stats = driver.Run(2 * kMillisecond, 40 * kMillisecond);
-    driver.DrainAndStop();
-    std::printf("%-24s throughput=%7.1f K txns/s  abort-rate=%.3f  "
-                "p99 latency=%.1f us\n",
-                name, stats.Throughput() / 1000.0, stats.AbortRate(),
-                stats.classes[0].latency.Percentile(99) / 1000.0);
-    return stats;
-  };
+  // One spec per protocol: 3 nodes, one engine each, replication degree 2,
+  // the flight-booking workload with 6 contended hot flights. Everything
+  // else (schema, partitioner, data load, driver) is wired by the runner.
+  std::vector<runner::ScenarioSpec> specs;
+  for (const char* proto : {"chiller-plain", "chiller"}) {
+    runner::ScenarioSpec spec;
+    spec.label = proto;
+    spec.workload = "flight";
+    spec.protocol = proto;
+    spec.nodes = 3;
+    spec.engines_per_node = 1;
+    spec.concurrency = 4;
+    spec.warmup = 2 * kMillisecond;
+    spec.measure = 40 * kMillisecond;
+    spec.options.Set("hot_flights", 6);
+    specs.push_back(std::move(spec));
+  }
 
   std::printf("Flight booking on 3 nodes, hot flights contended:\n\n");
-  auto plain = run("plain 2PL + 2PC", false);
-  auto chiller = run("Chiller two-region", true);
 
+  // The two simulated clusters are independent, so they can run on two
+  // worker threads; results come back in spec order either way.
+  runner::SweepExecutor executor(/*jobs=*/2);
+  auto results = executor.Run(specs);
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  const char* names[] = {"plain 2PL + 2PC", "Chiller two-region"};
+  for (size_t i = 0; i < results.size(); ++i) {
+    const cc::RunStats& stats = results[i]->stats;
+    std::printf("%-24s throughput=%7.1f K txns/s  abort-rate=%.3f  "
+                "p99 latency=%.1f us\n",
+                names[i], stats.Throughput() / 1000.0, stats.AbortRate(),
+                stats.FindClass(0) == nullptr
+                    ? 0.0
+                    : stats.FindClass(0)->latency.Percentile(99) / 1000.0);
+  }
+
+  const cc::RunStats& plain = results[0]->stats;
+  const cc::RunStats& chiller = results[1]->stats;
   std::printf("\nChiller speedup: %.2fx, abort reduction: %.1f%% -> %.1f%%\n",
               chiller.Throughput() / plain.Throughput(),
               100.0 * plain.AbortRate(), 100.0 * chiller.AbortRate());

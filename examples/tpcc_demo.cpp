@@ -1,15 +1,11 @@
 // Small-scale TPC-C comparison of the three execution models: 4 warehouses,
-// standard mix, by-warehouse partitioning (the Figure 9 setup in miniature).
+// standard mix, by-warehouse partitioning (the Figure 9 setup in miniature)
+// — three declarative scenarios run through the scenario runner.
 //
 //   $ ./build/examples/tpcc_demo
 #include <cstdio>
-#include <memory>
 
-#include "cc/cluster.h"
-#include "cc/driver.h"
-#include "cc/occ.h"
-#include "cc/twopl.h"
-#include "chiller/two_region.h"
+#include "runner/sweep.h"
 #include "workload/tpcc/tpcc_workload.h"
 
 using namespace chiller;
@@ -25,42 +21,31 @@ int main() {
   std::printf("%-10s %14s %12s %18s %18s\n", "protocol", "throughput",
               "abort-rate", "NewOrder aborts", "Payment aborts");
 
+  std::vector<runner::ScenarioSpec> specs;
   for (const char* proto : {"2pl", "occ", "chiller"}) {
-    cc::ClusterConfig config;
-    config.topology = net::Topology{.num_nodes = warehouses,
-                                    .engines_per_node = 1,
-                                    .replication_degree = 2};
-    config.schema = tpcc::Schema();
-    cc::Cluster cluster(config);
-    tpcc::TpccPartitioner partitioner(warehouses);
-    tpcc::PopulateTpcc(
-        warehouses,
-        [&](const RecordId& rid, const storage::Record& rec) {
-          cluster.LoadRecord(rid, rec, partitioner);
-        },
-        [&](const RecordId& rid, const storage::Record& rec) {
-          cluster.LoadEverywhere(rid, rec);
-        });
-    tpcc::TpccWorkload workload(
-        tpcc::TpccWorkload::Options{.num_warehouses = warehouses});
-    cc::ReplicationManager repl(&cluster);
-    std::unique_ptr<cc::Protocol> protocol;
-    if (std::string_view(proto) == "2pl") {
-      protocol = std::make_unique<cc::TwoPhaseLocking>(&cluster, &partitioner,
-                                                       &repl);
-    } else if (std::string_view(proto) == "occ") {
-      protocol = std::make_unique<cc::Occ>(&cluster, &partitioner, &repl);
-    } else {
-      protocol = std::make_unique<core::ChillerProtocol>(&cluster,
-                                                         &partitioner, &repl);
+    runner::ScenarioSpec spec;
+    spec.label = proto;
+    spec.workload = "tpcc";
+    spec.protocol = proto;
+    spec.nodes = warehouses;
+    spec.engines_per_node = 1;
+    spec.concurrency = concurrency;
+    spec.warmup = 3 * kMillisecond;
+    spec.measure = 40 * kMillisecond;
+    specs.push_back(std::move(spec));
+  }
+
+  auto results = runner::SweepExecutor(/*jobs=*/0).Run(specs);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "%s\n", results[i].status().ToString().c_str());
+      return 1;
     }
-    cc::Driver driver(&cluster, protocol.get(), &workload, concurrency);
-    auto stats = driver.Run(3 * kMillisecond, 40 * kMillisecond);
-    driver.DrainAndStop();
-    std::printf("%-10s %11.1f K/s %12.3f %18.3f %18.3f\n", proto,
-                stats.Throughput() / 1000.0, stats.AbortRate(),
-                stats.classes[tpcc::kNewOrderTxn].AbortRate(),
-                stats.classes[tpcc::kPaymentTxn].AbortRate());
+    const cc::RunStats& stats = results[i]->stats;
+    std::printf("%-10s %11.1f K/s %12.3f %18.3f %18.3f\n",
+                specs[i].label.c_str(), stats.Throughput() / 1000.0,
+                stats.AbortRate(), stats.ClassAbortRate(tpcc::kNewOrderTxn),
+                stats.ClassAbortRate(tpcc::kPaymentTxn));
   }
 
   std::printf("\nexpected shape: Chiller commits the most and aborts the "

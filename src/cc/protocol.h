@@ -45,6 +45,19 @@ struct RunStats {
     if (classes[cls].name.empty()) classes[cls].name = name;
   }
 
+  /// Bounds-safe class lookup: null when the class never ran in the window
+  /// (short measurement windows legitimately miss rare classes).
+  const ClassStats* FindClass(uint32_t cls) const {
+    return cls < classes.size() ? &classes[cls] : nullptr;
+  }
+
+  /// AbortRate of one class; 0 when the class never ran. The safe spelling
+  /// of `stats.classes[cls].AbortRate()` for indices that may be absent.
+  double ClassAbortRate(uint32_t cls) const {
+    const ClassStats* s = FindClass(cls);
+    return s == nullptr ? 0.0 : s->AbortRate();
+  }
+
   uint64_t TotalCommits() const {
     uint64_t c = 0;
     for (const auto& s : classes) c += s.commits;

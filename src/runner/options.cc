@@ -1,0 +1,113 @@
+#include "runner/options.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace chiller::runner {
+
+void OptionMap::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+void OptionMap::Set(const std::string& key, const char* value) {
+  values_[key] = value;
+}
+
+void OptionMap::Set(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  values_[key] = buf;
+}
+
+void OptionMap::Set(const std::string& key, uint64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+void OptionMap::Set(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+std::string OptionMap::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double OptionMap::GetDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  // std::from_chars<double> is incomplete on some libstdc++ versions; strtod
+  // matches the snprintf %.17g round-trip exactly.
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  CHILLER_CHECK(!it->second.empty() &&
+                end == it->second.c_str() + it->second.size())
+      << "option '" << key << "' = '" << it->second << "' is not a number";
+  return v;
+}
+
+uint64_t OptionMap::GetInt(const std::string& key, uint64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  uint64_t v = 0;
+  const char* first = it->second.data();
+  const char* last = first + it->second.size();
+  auto [ptr, ec] = std::from_chars(first, last, v);
+  CHILLER_CHECK(ec == std::errc() && ptr == last)
+      << "option '" << key << "' = '" << it->second
+      << "' is not an unsigned integer";
+  return v;
+}
+
+bool OptionMap::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true" || it->second == "1") return true;
+  CHILLER_CHECK(it->second == "false" || it->second == "0")
+      << "option '" << key << "' = '" << it->second << "' is not a bool";
+  return false;
+}
+
+std::vector<std::string> OptionMap::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [k, v] : values_) keys.push_back(k);
+  return keys;
+}
+
+Status OptionMap::ExpectOnly(
+    std::initializer_list<std::string_view> allowed) const {
+  for (const auto& [key, value] : values_) {
+    bool found = false;
+    for (std::string_view a : allowed) {
+      if (key == a) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string known;
+      for (std::string_view a : allowed) {
+        if (!known.empty()) known += ", ";
+        known += a;
+      }
+      return Status::InvalidArgument("unknown option '" + key +
+                                     "' (known: " + known + ")");
+    }
+  }
+  return Status::OK();
+}
+
+std::string OptionMap::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    if (!out.empty()) out += ' ';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace chiller::runner

@@ -1,0 +1,69 @@
+// String-keyed option bag for declarative scenario specs.
+//
+// Workload factories take their knobs (zipf theta, mix percentages, layout
+// names, ...) from an OptionMap so a ScenarioSpec stays a plain value type
+// that can be built in a loop, printed, and compared — no per-workload
+// struct plumbed through the runner. Values are stored as strings; typed
+// getters parse on access and fall back to a caller default, and
+// ExpectOnly() turns typos into InvalidArgument instead of silent defaults.
+#ifndef CHILLER_RUNNER_OPTIONS_H_
+#define CHILLER_RUNNER_OPTIONS_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace chiller::runner {
+
+class OptionMap {
+ public:
+  OptionMap() = default;
+
+  void Set(const std::string& key, const std::string& value);
+  void Set(const std::string& key, const char* value);
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, uint64_t value);
+  void Set(const std::string& key, int value) {
+    Set(key, static_cast<uint64_t>(value));
+  }
+  void Set(const std::string& key, uint32_t value) {
+    Set(key, static_cast<uint64_t>(value));
+  }
+  void Set(const std::string& key, bool value);
+
+  bool Has(const std::string& key) const { return values_.contains(key); }
+
+  /// Typed accessors: return `fallback` when the key is absent. A present
+  /// value that does not parse as the requested type is always a caller
+  /// bug (the typed Set overloads only write well-formed values), so it
+  /// CHECK-fails loudly instead of silently running the fallback config.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Keys in sorted order (map iteration order), for printing and hashing.
+  std::vector<std::string> Keys() const;
+
+  /// InvalidArgument naming the first key not in `allowed` (a typo in a
+  /// spec would otherwise silently run the default scenario).
+  Status ExpectOnly(std::initializer_list<std::string_view> allowed) const;
+
+  /// Canonical "k1=v1 k2=v2" rendering, stable across runs.
+  std::string ToString() const;
+
+  friend bool operator==(const OptionMap&, const OptionMap&) = default;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace chiller::runner
+
+#endif  // CHILLER_RUNNER_OPTIONS_H_

@@ -1,0 +1,73 @@
+#include "runner/runner.h"
+
+#include <chrono>
+#include <utility>
+
+#include "net/topology.h"
+
+namespace chiller::runner {
+
+Status ScenarioRunner::Validate(const ScenarioSpec& spec) {
+  if (spec.nodes == 0 || spec.engines_per_node == 0) {
+    return Status::InvalidArgument("topology must have >= 1 node and engine");
+  }
+  if (spec.replication_degree == 0) {
+    return Status::InvalidArgument(
+        "replication_degree counts the primary and must be >= 1");
+  }
+  if (spec.concurrency == 0) {
+    return Status::InvalidArgument("concurrency must be >= 1");
+  }
+  if (spec.measure == 0) {
+    return Status::InvalidArgument("measurement window must be > 0");
+  }
+  return Status::OK();
+}
+
+StatusOr<ScenarioEnv> ScenarioRunner::Wire(const ScenarioSpec& spec) {
+  Status st = Validate(spec);
+  if (!st.ok()) return st;
+
+  auto bundle = WorkloadRegistry::Global().Make(spec);
+  if (!bundle.ok()) return bundle.status();
+
+  ScenarioEnv env;
+  env.bundle = std::move(bundle).value();
+
+  cc::ClusterConfig cfg;
+  cfg.topology = net::Topology{.num_nodes = spec.nodes,
+                               .engines_per_node = spec.engines_per_node,
+                               .replication_degree = spec.replication_degree};
+  cfg.schema = env.bundle->Schema();
+  env.cluster = std::make_unique<cc::Cluster>(cfg);
+  env.bundle->Load(env.cluster.get());
+
+  env.repl = std::make_unique<cc::ReplicationManager>(env.cluster.get());
+  auto protocol = ProtocolRegistry::Global().Make(
+      spec.protocol, env.cluster.get(), env.bundle->partitioner(),
+      env.repl.get());
+  if (!protocol.ok()) return protocol.status();
+  env.protocol = std::move(protocol).value();
+
+  env.driver = std::make_unique<cc::Driver>(
+      env.cluster.get(), env.protocol.get(), env.bundle->source(),
+      spec.concurrency, spec.seed);
+  return env;
+}
+
+StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto env = Wire(spec);
+  if (!env.ok()) return env.status();
+
+  ScenarioResult result;
+  result.spec = spec;
+  result.stats = env->driver->Run(spec.warmup, spec.measure);
+  env->driver->DrainAndStop();
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  return result;
+}
+
+}  // namespace chiller::runner

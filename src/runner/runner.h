@@ -1,0 +1,47 @@
+// ScenarioRunner: turns a declarative ScenarioSpec into a wired simulated
+// cluster and a measured run.
+#ifndef CHILLER_RUNNER_RUNNER_H_
+#define CHILLER_RUNNER_RUNNER_H_
+
+#include <memory>
+
+#include "cc/cluster.h"
+#include "cc/driver.h"
+#include "cc/protocol.h"
+#include "cc/replication.h"
+#include "common/status.h"
+#include "runner/registry.h"
+#include "runner/scenario.h"
+
+namespace chiller::runner {
+
+/// A fully wired scenario: cluster + loaded data + protocol + driver, with
+/// every owning pointer in teardown-safe member order. Examples and tests
+/// that need to poke the wiring (protocol counters, storage invariants)
+/// use Wire() and drive this directly; everything else uses Run().
+struct ScenarioEnv {
+  std::unique_ptr<WorkloadBundle> bundle;
+  std::unique_ptr<cc::Cluster> cluster;
+  std::unique_ptr<cc::ReplicationManager> repl;
+  std::unique_ptr<cc::Protocol> protocol;
+  std::unique_ptr<cc::Driver> driver;
+};
+
+class ScenarioRunner {
+ public:
+  /// Structural checks that need no registry lookup (positive topology,
+  /// positive measurement window, positive concurrency).
+  static Status Validate(const ScenarioSpec& spec);
+
+  /// Resolves the workload and protocol from the global registries, builds
+  /// the cluster, and loads the initial database. Does not run anything.
+  static StatusOr<ScenarioEnv> Wire(const ScenarioSpec& spec);
+
+  /// Wire() + warmup + measured window + drain. The result is a pure
+  /// function of the spec: scenarios can run on any thread in any order.
+  static StatusOr<ScenarioResult> Run(const ScenarioSpec& spec);
+};
+
+}  // namespace chiller::runner
+
+#endif  // CHILLER_RUNNER_RUNNER_H_

@@ -1,0 +1,59 @@
+// Declarative scenario description: one simulated experiment point.
+//
+// A ScenarioSpec names a workload and a protocol (registry keys), the
+// cluster topology, the concurrency knob, the seed, and the measurement
+// window. Benches build vectors of these and hand them to SweepExecutor;
+// tests and examples run single specs through ScenarioRunner. The spec is
+// a plain value: copyable, comparable, and independent of any live cluster.
+#ifndef CHILLER_RUNNER_SCENARIO_H_
+#define CHILLER_RUNNER_SCENARIO_H_
+
+#include <string>
+
+#include "cc/protocol.h"
+#include "common/types.h"
+#include "runner/options.h"
+
+namespace chiller::runner {
+
+struct ScenarioSpec {
+  /// Free-form tag carried into the result (series name, grid point, ...).
+  std::string label;
+
+  /// Registry keys; see WorkloadRegistry / ProtocolRegistry.
+  std::string workload = "tpcc";
+  std::string protocol = "chiller";
+
+  /// Workload-specific knobs, interpreted by the workload factory.
+  OptionMap options;
+
+  // Cluster topology (one partition per engine, as in the paper).
+  uint32_t nodes = 8;
+  uint32_t engines_per_node = 1;
+  uint32_t replication_degree = 2;
+
+  /// Open transactions per engine (the paper's Figure 9 knob).
+  uint32_t concurrency = 4;
+
+  /// Base RNG seed: the whole scenario is a pure function of the spec.
+  uint64_t seed = 1;
+
+  SimTime warmup = 3 * kMillisecond;
+  SimTime measure = 15 * kMillisecond;
+
+  uint32_t partitions() const { return nodes * engines_per_node; }
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Outcome of one scenario: the spec it ran plus the measurement-window
+/// stats and the host wall-clock the run took (sweep speedup accounting).
+struct ScenarioResult {
+  ScenarioSpec spec;
+  cc::RunStats stats;
+  double wall_ms = 0.0;
+};
+
+}  // namespace chiller::runner
+
+#endif  // CHILLER_RUNNER_SCENARIO_H_

@@ -1,0 +1,38 @@
+#include "runner/sweep.h"
+
+#include <mutex>
+#include <optional>
+
+namespace chiller::runner {
+
+uint32_t ResolveJobs(uint32_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<uint32_t>(hw);
+}
+
+std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
+    const std::vector<ScenarioSpec>& specs, const ProgressFn& progress) const {
+  std::mutex progress_mu;
+  auto run_one = [&](size_t i) -> StatusOr<ScenarioResult> {
+    StatusOr<ScenarioResult> result = ScenarioRunner::Run(specs[i]);
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress(i, result);
+    }
+    return result;
+  };
+  // ParallelMap needs default-constructed slots; StatusOr has no default
+  // state, so map into optionals and unwrap after the barrier.
+  auto slots = ParallelMap(
+      jobs_, specs.size(),
+      [&](size_t i) -> std::optional<StatusOr<ScenarioResult>> {
+        return run_one(i);
+      });
+  std::vector<StatusOr<ScenarioResult>> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+}  // namespace chiller::runner

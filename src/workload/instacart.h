@@ -18,6 +18,9 @@
 
 #include "cc/driver.h"
 #include "common/zipf.h"
+#include "partition/chiller_partitioner.h"
+#include "partition/hot_decorator.h"
+#include "partition/schism.h"
 #include "partition/stats_collector.h"
 #include "storage/record.h"
 #include "txn/transaction.h"
@@ -110,6 +113,31 @@ class InstacartWorkload : public cc::WorkloadSource {
   std::vector<double> weights_;
   std::vector<uint64_t> order_seq_;  // per home partition
 };
+
+/// The three layouts of the paper's Figures 7/8, built from one trace and
+/// all exposing the same hot-record set, so the run-time two-region
+/// decision is identical across layouts and only placement differs.
+struct InstacartLayouts {
+  std::unique_ptr<partition::RecordPartitioner> hash_base;
+  std::unique_ptr<partition::HotDecorator> hashing;
+  partition::SchismPartitioner::Output schism_out;
+  std::unique_ptr<partition::HotDecorator> schism;
+  partition::ChillerPartitioner::Output chiller_out;
+  std::vector<partition::TxnAccessTrace> traces;
+  partition::StatsCollector stats;
+};
+
+/// Samples `trace_txns` baskets from `workload` with Rng(seed) and builds
+/// the layouts for `k` partitions. Deterministic in (workload options, k,
+/// trace_txns, seed, hot_threshold) — scenario workers may rebuild layouts
+/// independently and get identical placements. `with_schism` = false skips
+/// the Schism build (up to 5x costlier than Chiller's, and its output does
+/// not feed the other layouts' hot sets): scenarios that run only the hash
+/// or chiller layout leave `schism_out`/`schism` null.
+InstacartLayouts BuildInstacartLayouts(InstacartWorkload* workload, uint32_t k,
+                                       size_t trace_txns, uint64_t seed = 7,
+                                       double hot_threshold = 0.01,
+                                       bool with_schism = true);
 
 }  // namespace chiller::workload::instacart
 

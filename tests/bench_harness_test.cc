@@ -1,12 +1,16 @@
 // Tests for the shared bench harness: CLI flag parsing, the JSON
-// utility + report emitter, and the protocol factory.
+// utility + report emitter, and the registry-backed protocol factory.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
-#include "bench/bench_common.h"
+#include "bench/bench_flags.h"
+#include "bench/bench_report.h"
+#include "runner/registry.h"
+#include "runner/runner.h"
+#include "workload/tpcc/tpcc_workload.h"
 
 namespace chiller::bench {
 namespace {
@@ -32,15 +36,19 @@ TEST(BenchFlagsTest, DefaultsSurviveEmptyArgv) {
   EXPECT_DOUBLE_EQ(f.warmup_ms, 3.0);
   EXPECT_DOUBLE_EQ(f.duration_ms, 15.0);
   EXPECT_EQ(f.seed, 1u);
+  EXPECT_EQ(f.jobs, 1u);
   EXPECT_TRUE(f.emit_json);
   EXPECT_FALSE(f.help);
+  EXPECT_FALSE(f.list_protocols);
+  EXPECT_FALSE(f.list_workloads);
 }
 
 TEST(BenchFlagsTest, ParsesEveryFlag) {
   BenchFlags f;
   ASSERT_TRUE(Parse({"--protocol=occ", "--nodes=4", "--engines=2",
                      "--concurrency=7", "--warmup-ms=1.5", "--duration-ms=9",
-                     "--theta=0.5", "--seed=42", "--json=/tmp/out.json"},
+                     "--theta=0.5", "--seed=42", "--jobs=3",
+                     "--json=/tmp/out.json"},
                     &f)
                   .ok());
   EXPECT_EQ(f.protocol, "occ");
@@ -51,8 +59,24 @@ TEST(BenchFlagsTest, ParsesEveryFlag) {
   EXPECT_DOUBLE_EQ(f.duration_ms, 9.0);
   EXPECT_DOUBLE_EQ(f.theta, 0.5);
   EXPECT_EQ(f.seed, 42u);
+  EXPECT_EQ(f.jobs, 3u);
   EXPECT_EQ(f.json_path, "/tmp/out.json");
   EXPECT_EQ(f.JsonPathFor("fig9"), "/tmp/out.json");
+}
+
+TEST(BenchFlagsTest, JobsZeroMeansAutoAndParses) {
+  BenchFlags f;
+  ASSERT_TRUE(Parse({"--jobs=0"}, &f).ok());
+  EXPECT_EQ(f.jobs, 0u);  // 0 = all hardware threads, resolved by the sweep
+}
+
+TEST(BenchFlagsTest, ListFlagsParse) {
+  BenchFlags f;
+  ASSERT_TRUE(Parse({"--list-protocols"}, &f).ok());
+  EXPECT_TRUE(f.list_protocols);
+  BenchFlags g;
+  ASSERT_TRUE(Parse({"--list-workloads"}, &g).ok());
+  EXPECT_TRUE(g.list_workloads);
 }
 
 TEST(BenchFlagsTest, NoJsonAndDefaultPath) {
@@ -76,15 +100,23 @@ TEST(BenchFlagsTest, RejectsUnknownFlagAndBadValues) {
   EXPECT_TRUE(Parse({"--nodes=0"}, &f).IsInvalidArgument());
   EXPECT_TRUE(Parse({"--duration-ms=0"}, &f).IsInvalidArgument());
   EXPECT_TRUE(Parse({"--seed="}, &f).IsInvalidArgument());
+  EXPECT_TRUE(Parse({"--jobs=banana"}, &f).IsInvalidArgument());
 }
 
 TEST(BenchFlagsTest, UsageMentionsEveryFlag) {
   const std::string usage = UsageString("fig9");
   for (const char* flag :
        {"--protocol", "--nodes", "--engines", "--concurrency", "--warmup-ms",
-        "--duration-ms", "--theta", "--seed", "--json", "--no-json",
-        "--help"}) {
+        "--duration-ms", "--theta", "--seed", "--jobs", "--json", "--no-json",
+        "--list-protocols", "--list-workloads", "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(BenchFlagsTest, UsageListsRegisteredProtocols) {
+  const std::string usage = UsageString("fig9");
+  for (const std::string& name : runner::ProtocolRegistry::Global().Names()) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
   }
 }
 
@@ -149,14 +181,18 @@ TEST(JsonTest, RejectsMalformedInput) {
 
 /// A small real measurement so the latency histograms are populated.
 cc::RunStats SmallTpccRun(const std::string& proto) {
-  tpcc::TpccWorkload workload(
-      tpcc::TpccWorkload::Options{.num_warehouses = 2});
-  Env env = MakeTpccEnv(proto, /*nodes=*/2, /*engines_per_node=*/1, &workload,
-                        /*concurrency=*/2, /*seed=*/3);
-  auto stats = env.driver->Run(/*warmup=*/kMillisecond, /*measure=*/
-                               2 * kMillisecond);
-  env.driver->DrainAndStop();
-  return stats;
+  runner::ScenarioSpec spec;
+  spec.workload = "tpcc";
+  spec.protocol = proto;
+  spec.nodes = 2;
+  spec.engines_per_node = 1;
+  spec.concurrency = 2;
+  spec.seed = 3;
+  spec.warmup = kMillisecond;
+  spec.measure = 2 * kMillisecond;
+  auto result = runner::ScenarioRunner::Run(spec);
+  CHILLER_CHECK(result.ok()) << result.status().ToString();
+  return result->stats;
 }
 
 TEST(BenchReportTest, EmittedJsonParsesAndHasRequiredKeys) {
@@ -201,12 +237,12 @@ TEST(BenchReportTest, EmittedJsonParsesAndHasRequiredKeys) {
 }
 
 // ---------------------------------------------------------------------------
-// Protocol factory
+// Protocol registry (replaces the old bench-header MakeProtocol factory)
 // ---------------------------------------------------------------------------
 
-class MakeProtocolTest : public testing::Test {
+class ProtocolRegistryTest : public testing::Test {
  protected:
-  MakeProtocolTest() {
+  ProtocolRegistryTest() {
     cc::ClusterConfig cfg;
     cfg.topology = net::Topology{.num_nodes = 2,
                                  .engines_per_node = 1,
@@ -218,8 +254,8 @@ class MakeProtocolTest : public testing::Test {
   }
 
   StatusOr<std::unique_ptr<cc::Protocol>> Make(const std::string& name) {
-    return MakeProtocol(name, cluster_.get(), partitioner_.get(),
-                        repl_.get());
+    return runner::ProtocolRegistry::Global().Make(
+        name, cluster_.get(), partitioner_.get(), repl_.get());
   }
 
   std::unique_ptr<cc::Cluster> cluster_;
@@ -227,9 +263,10 @@ class MakeProtocolTest : public testing::Test {
   std::unique_ptr<cc::ReplicationManager> repl_;
 };
 
-TEST_F(MakeProtocolTest, BuildsEveryKnownProtocol) {
-  const std::vector<std::string> names = KnownProtocols();
-  ASSERT_EQ(names.size(), 4u);
+TEST_F(ProtocolRegistryTest, BuildsEveryRegisteredProtocol) {
+  const std::vector<std::string> names =
+      runner::ProtocolRegistry::Global().Names();
+  ASSERT_GE(names.size(), 4u);
   for (const std::string& name : names) {
     auto proto = Make(name);
     ASSERT_TRUE(proto.ok()) << name;
@@ -241,12 +278,13 @@ TEST_F(MakeProtocolTest, BuildsEveryKnownProtocol) {
                Make("chiller-plain").value()->name());
 }
 
-TEST_F(MakeProtocolTest, UnknownNameIsInvalidArgumentNotAbort) {
+TEST_F(ProtocolRegistryTest, UnknownNameIsInvalidArgumentNotAbort) {
   auto proto = Make("definitely-not-a-protocol");
   ASSERT_FALSE(proto.ok());
   EXPECT_TRUE(proto.status().IsInvalidArgument());
   // The message should steer the user to valid spellings.
-  for (const std::string& name : KnownProtocols()) {
+  for (const std::string& name :
+       runner::ProtocolRegistry::Global().Names()) {
     EXPECT_NE(proto.status().message().find(name), std::string::npos) << name;
   }
 }

@@ -1,16 +1,20 @@
 // Reproducibility: the whole stack — simulator, network, engines,
 // protocols, workload generators — is deterministic for a fixed seed.
-// Every experiment in bench/ therefore reproduces bit-for-bit.
+// Every experiment in bench/ therefore reproduces bit-for-bit, and the
+// parallel sweep executor reproduces the serial executor exactly.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "bench/bench_report.h"
 #include "cc/cluster.h"
 #include "cc/driver.h"
 #include "cc/occ.h"
 #include "cc/twopl.h"
 #include "chiller/two_region.h"
+#include "runner/sweep.h"
 #include "workload/flight.h"
 #include "workload/tpcc/tpcc_workload.h"
 
@@ -107,6 +111,74 @@ TEST(DeterminismTest, TpccRunReproduces) {
                           cluster.sim()->events_processed());
   };
   EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// Sweep determinism: --jobs N must reproduce --jobs 1 byte for byte.
+// ---------------------------------------------------------------------------
+
+/// A small mixed-workload grid: every workload family, two protocols, two
+/// seeds — enough scheduling freedom that a cross-worker leak would show.
+std::vector<runner::ScenarioSpec> MixedSweep() {
+  std::vector<runner::ScenarioSpec> specs;
+  for (const char* workload : {"flight", "ycsb", "tpcc"}) {
+    for (const char* protocol : {"2pl", "chiller"}) {
+      for (uint64_t seed : {5, 17}) {
+        runner::ScenarioSpec spec;
+        spec.workload = workload;
+        spec.protocol = protocol;
+        spec.nodes = 2;
+        spec.engines_per_node = 1;
+        spec.concurrency = 3;
+        spec.seed = seed;
+        spec.warmup = kMillisecond;
+        spec.measure = 3 * kMillisecond;
+        if (std::string_view(workload) == "ycsb") {
+          spec.options.Set("keys_per_partition", 1000);
+          spec.options.Set("theta", 0.95);
+        }
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  return specs;
+}
+
+/// Serializes every per-class counter and latency percentile of a sweep:
+/// two sweeps are "byte-identical" iff these strings match.
+std::string SweepFingerprint(
+    const std::vector<StatusOr<runner::ScenarioResult>>& results) {
+  std::string out;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) continue;
+    Json params = Json::MakeObject();
+    params["workload"] = r->spec.workload;
+    params["seed"] = r->spec.seed;
+    out += bench::ResultRow(r->spec.protocol, std::move(params), r->stats)
+               .Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(SweepDeterminismTest, JobsOneAndJobsEightAreByteIdentical) {
+  const auto specs = MixedSweep();
+  const std::string serial =
+      SweepFingerprint(runner::SweepExecutor(1).Run(specs));
+  const std::string threaded =
+      SweepFingerprint(runner::SweepExecutor(8).Run(specs));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(SweepDeterminismTest, RepeatedRunsAreByteIdentical) {
+  const auto specs = MixedSweep();
+  const std::string first =
+      SweepFingerprint(runner::SweepExecutor(4).Run(specs));
+  const std::string second =
+      SweepFingerprint(runner::SweepExecutor(4).Run(specs));
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

@@ -1,0 +1,297 @@
+// Tests for the scenario subsystem: OptionMap, the workload/protocol
+// registries, ScenarioRunner wiring, the ycsb workload's knobs, and
+// SweepExecutor ordering.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "runner/options.h"
+#include "runner/registry.h"
+#include "runner/runner.h"
+#include "runner/sweep.h"
+#include "workload/ycsb.h"
+
+namespace chiller::runner {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OptionMap
+// ---------------------------------------------------------------------------
+
+TEST(OptionMapTest, TypedRoundtrips) {
+  OptionMap o;
+  o.Set("name", "zipf");
+  o.Set("theta", 0.75);
+  o.Set("ops", 42);
+  o.Set("flag", true);
+  EXPECT_EQ(o.GetString("name", ""), "zipf");
+  EXPECT_DOUBLE_EQ(o.GetDouble("theta", 0.0), 0.75);
+  EXPECT_EQ(o.GetInt("ops", 0), 42u);
+  EXPECT_TRUE(o.GetBool("flag", false));
+  EXPECT_TRUE(o.Has("theta"));
+  EXPECT_FALSE(o.Has("absent"));
+  EXPECT_EQ(o.GetInt("absent", 7), 7u);
+}
+
+TEST(OptionMapTest, DoubleRoundtripIsExact) {
+  OptionMap o;
+  const double v = 0.1234567890123456789;  // forces the %.17g path
+  o.Set("x", v);
+  EXPECT_EQ(o.GetDouble("x", 0.0), v);
+}
+
+TEST(OptionMapTest, KeysAreSortedAndToStringStable) {
+  OptionMap o;
+  o.Set("b", 2);
+  o.Set("a", 1);
+  EXPECT_EQ(o.Keys(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(o.ToString(), "a=1 b=2");
+}
+
+TEST(OptionMapTest, ExpectOnlyFlagsTypos) {
+  OptionMap o;
+  o.Set("theta", 0.5);
+  o.Set("thetta", 0.5);
+  EXPECT_TRUE(o.ExpectOnly({"theta"}).IsInvalidArgument());
+  const Status st = o.ExpectOnly({"theta", "thetta"});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, BuiltinsAreRegistered) {
+  auto& workloads = WorkloadRegistry::Global();
+  for (const char* name : {"tpcc", "instacart", "flight", "ycsb"}) {
+    EXPECT_TRUE(workloads.Has(name)) << name;
+  }
+  auto& protocols = ProtocolRegistry::Global();
+  for (const char* name : {"2pl", "occ", "chiller", "chiller-plain"}) {
+    EXPECT_TRUE(protocols.Has(name)) << name;
+  }
+}
+
+TEST(RegistryTest, DuplicateRegistrationIsRejected) {
+  auto st = WorkloadRegistry::Global().Register(
+      "tpcc", [](const ScenarioSpec&) -> StatusOr<std::unique_ptr<WorkloadBundle>> {
+        return Status::Internal("never called");
+      });
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_TRUE(ProtocolRegistry::Global()
+                  .Register("2pl",
+                            [](cc::Cluster*, const partition::RecordPartitioner*,
+                               cc::ReplicationManager*)
+                                -> std::unique_ptr<cc::Protocol> {
+                              return nullptr;
+                            })
+                  .IsFailedPrecondition());
+}
+
+TEST(RegistryTest, UnknownWorkloadNamesAlternatives) {
+  ScenarioSpec spec;
+  spec.workload = "not-a-workload";
+  auto result = ScenarioRunner::Run(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("ycsb"), std::string::npos);
+}
+
+TEST(RegistryTest, UnknownOptionFailsTheScenario) {
+  ScenarioSpec spec;
+  spec.workload = "ycsb";
+  spec.nodes = 2;
+  spec.options.Set("not-a-knob", 1);
+  auto result = ScenarioRunner::Run(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("not-a-knob"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioRunner
+// ---------------------------------------------------------------------------
+
+ScenarioSpec SmallYcsb() {
+  ScenarioSpec spec;
+  spec.workload = "ycsb";
+  spec.protocol = "chiller";
+  spec.nodes = 3;
+  spec.engines_per_node = 1;
+  spec.concurrency = 2;
+  spec.seed = 11;
+  spec.warmup = kMillisecond;
+  spec.measure = 4 * kMillisecond;
+  spec.options.Set("keys_per_partition", 2000);
+  spec.options.Set("theta", 0.9);
+  return spec;
+}
+
+TEST(ScenarioRunnerTest, ValidateRejectsDegenerateSpecs) {
+  ScenarioSpec spec = SmallYcsb();
+  spec.nodes = 0;
+  EXPECT_TRUE(ScenarioRunner::Validate(spec).IsInvalidArgument());
+  spec = SmallYcsb();
+  spec.concurrency = 0;
+  EXPECT_TRUE(ScenarioRunner::Validate(spec).IsInvalidArgument());
+  spec = SmallYcsb();
+  spec.measure = 0;
+  EXPECT_TRUE(ScenarioRunner::Validate(spec).IsInvalidArgument());
+}
+
+TEST(ScenarioRunnerTest, WireExposesUsableEnv) {
+  auto env = ScenarioRunner::Wire(SmallYcsb());
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_EQ(env->cluster->num_engines(), 3u);
+  EXPECT_GT(env->cluster->TotalPrimaryRecords(), 0u);
+  ASSERT_NE(env->protocol, nullptr);
+  auto stats = env->driver->Run(kMillisecond, 2 * kMillisecond);
+  env->driver->DrainAndStop();
+  EXPECT_GT(stats.TotalCommits(), 0u);
+}
+
+TEST(ScenarioRunnerTest, RunsEveryWorkloadUnderEveryProtocol) {
+  for (const std::string& workload : WorkloadRegistry::Global().Names()) {
+    for (const std::string& protocol :
+         ProtocolRegistry::Global().Names()) {
+      ScenarioSpec spec;
+      spec.workload = workload;
+      spec.protocol = protocol;
+      spec.nodes = 2;
+      spec.engines_per_node = 1;
+      spec.concurrency = 2;
+      spec.warmup = kMillisecond;
+      spec.measure = 2 * kMillisecond;
+      if (workload == "instacart") {
+        // Keep the layout build cheap: a small catalog and trace.
+        spec.options.Set("num_products", 2000);
+        spec.options.Set("num_customers", 5000);
+        spec.options.Set("trace_txns", 500);
+      }
+      if (workload == "ycsb") spec.options.Set("keys_per_partition", 1000);
+      auto result = ScenarioRunner::Run(spec);
+      ASSERT_TRUE(result.ok())
+          << workload << "/" << protocol << ": "
+          << result.status().ToString();
+      EXPECT_GT(result->stats.TotalCommits(), 0u)
+          << workload << "/" << protocol;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ycsb knobs
+// ---------------------------------------------------------------------------
+
+TEST(YcsbTest, ReadOnlyWorkloadNeverConflictsUnder2pl) {
+  ScenarioSpec spec = SmallYcsb();
+  spec.protocol = "2pl";
+  spec.options.Set("read_ratio", 1.0);
+  auto result = ScenarioRunner::Run(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.TotalCommits(), 0u);
+  // Shared locks are compatible: an all-read mix cannot conflict-abort.
+  EXPECT_EQ(result->stats.TotalConflictAborts(), 0u);
+}
+
+TEST(YcsbTest, DistributedRatioZeroStaysSinglePartition) {
+  ScenarioSpec spec = SmallYcsb();
+  spec.options.Set("distributed_ratio", 0.0);
+  auto result = ScenarioRunner::Run(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.TotalCommits(), 0u);
+  EXPECT_DOUBLE_EQ(result->stats.DistributedRatio(), 0.0);
+}
+
+TEST(YcsbTest, DistributedRatioOneSpansPartitions) {
+  ScenarioSpec spec = SmallYcsb();
+  spec.options.Set("distributed_ratio", 1.0);
+  auto result = ScenarioRunner::Run(spec);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.DistributedRatio(), 0.5);
+}
+
+TEST(YcsbTest, InvalidKnobsAreRejected) {
+  ScenarioSpec spec = SmallYcsb();
+  spec.options.Set("theta", 1.5);
+  EXPECT_TRUE(ScenarioRunner::Run(spec).status().IsInvalidArgument());
+  spec = SmallYcsb();
+  spec.options.Set("read_ratio", -0.5);
+  EXPECT_TRUE(ScenarioRunner::Run(spec).status().IsInvalidArgument());
+  spec = SmallYcsb();
+  spec.options.Set("ops_per_txn", 0);
+  EXPECT_TRUE(ScenarioRunner::Run(spec).status().IsInvalidArgument());
+}
+
+TEST(YcsbTest, PartitionerPlacesAndFlagsHotKeys) {
+  workload::ycsb::YcsbPartitioner part(/*num_partitions=*/4,
+                                       /*keys_per_partition=*/100,
+                                       /*hot_keys_per_partition=*/2);
+  EXPECT_EQ(part.PartitionOf({workload::ycsb::kMain, 0}), 0u);
+  EXPECT_EQ(part.PartitionOf({workload::ycsb::kMain, 101}), 1u);
+  EXPECT_EQ(part.PartitionOf({workload::ycsb::kMain, 399}), 3u);
+  EXPECT_TRUE(part.IsHot({workload::ycsb::kMain, 201}));
+  EXPECT_FALSE(part.IsHot({workload::ycsb::kMain, 202}));
+  EXPECT_EQ(part.LookupEntries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SweepExecutor
+// ---------------------------------------------------------------------------
+
+TEST(SweepExecutorTest, ResultsFollowSpecOrderRegardlessOfJobs) {
+  std::vector<ScenarioSpec> specs;
+  for (uint64_t seed : {31, 7, 19, 3}) {
+    ScenarioSpec spec = SmallYcsb();
+    spec.seed = seed;
+    spec.measure = 2 * kMillisecond;
+    specs.push_back(std::move(spec));
+  }
+  for (uint32_t jobs : {1u, 4u}) {
+    auto results = SweepExecutor(jobs).Run(specs);
+    ASSERT_EQ(results.size(), specs.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+      EXPECT_EQ(results[i]->spec.seed, specs[i].seed) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SweepExecutorTest, FailedSpecDoesNotPoisonTheSweep) {
+  std::vector<ScenarioSpec> specs = {SmallYcsb(), SmallYcsb()};
+  specs[0].workload = "nope";
+  specs[0].measure = 2 * kMillisecond;
+  specs[1].measure = 2 * kMillisecond;
+  auto results = SweepExecutor(2).Run(specs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status().IsInvalidArgument());
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_GT(results[1]->stats.TotalCommits(), 0u);
+}
+
+TEST(SweepExecutorTest, ProgressFiresOncePerSpec) {
+  std::vector<ScenarioSpec> specs = {SmallYcsb(), SmallYcsb(), SmallYcsb()};
+  for (auto& s : specs) s.measure = 2 * kMillisecond;
+  std::vector<int> seen(specs.size(), 0);
+  SweepExecutor(2).Run(specs,
+                       [&](size_t i, const StatusOr<ScenarioResult>& r) {
+                         EXPECT_TRUE(r.ok());
+                         ++seen[i];
+                       });
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelMapTest, MapsEveryIndexInOrder) {
+  auto out = ParallelMap(3, 100, [](size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMapTest, ZeroJobsResolvesToHardware) {
+  EXPECT_GE(ResolveJobs(0), 1u);
+  EXPECT_EQ(ResolveJobs(5), 5u);
+}
+
+}  // namespace
+}  // namespace chiller::runner
