@@ -62,7 +62,11 @@ void Main(const BenchFlags& flags) {
     specs.push_back(std::move(spec));
   }
 
+  for (auto& spec : specs) {
+    spec.footprint_hint = runner::EstimateFootprint(spec);
+  }
   runner::SweepExecutor executor(flags.jobs);
+  executor.set_mem_budget_bytes(flags.MemBudgetBytes());
   auto results = executor.Run(specs);
 
   std::vector<double> tput;

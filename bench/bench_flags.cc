@@ -67,6 +67,8 @@ std::string UsageString(const std::string& bench_name,
         "  --seed=N            base RNG seed (default %llu)\n"
         "  --jobs=N            sweep worker threads, 0 = all hardware threads"
         " (default %u)\n"
+        "  --mem-budget-mb=N   cap summed footprint of concurrently-loaded"
+        " scenarios, 0 = unlimited (default %llu)\n"
         "  --json=PATH         JSON report path (default BENCH_%s.json)\n"
         "  --no-json           skip the JSON report\n"
         "  --list-protocols    print registered protocols and exit\n"
@@ -74,7 +76,8 @@ std::string UsageString(const std::string& bench_name,
         "  --help              show this message\n",
         bench_name.c_str(), protocols.c_str(), d.protocol.c_str(), d.nodes,
         d.engines, d.concurrency, d.warmup_ms, d.duration_ms, d.theta,
-        static_cast<unsigned long long>(d.seed), d.jobs, bench_name.c_str());
+        static_cast<unsigned long long>(d.seed), d.jobs,
+        static_cast<unsigned long long>(d.mem_budget_mb), bench_name.c_str());
   };
   const int needed = format(nullptr, 0);
   std::string out(static_cast<size_t>(needed) + 1, '\0');
@@ -126,6 +129,8 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
       st = ParseNumber(name, value, &out->seed);
     } else if (name == "jobs") {
       st = ParseNumber(name, value, &out->jobs);
+    } else if (name == "mem-budget-mb") {
+      st = ParseNumber(name, value, &out->mem_budget_mb);
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     }

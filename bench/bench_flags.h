@@ -12,6 +12,8 @@
 //   --theta=F             Zipf skew for workloads that take one
 //   --seed=N              base RNG seed
 //   --jobs=N              sweep worker threads (0 = all hardware threads)
+//   --mem-budget-mb=N     cap summed footprint of concurrently-loaded
+//                         scenarios (0 = unlimited)
 //   --json=PATH           where to write the machine-readable report
 //                         (default BENCH_<name>.json in the cwd)
 //   --no-json             disable the JSON report
@@ -45,6 +47,13 @@ struct BenchFlags {
   /// Sweep worker threads; 0 = one per hardware thread. Results are
   /// byte-identical for every value (see runner::SweepExecutor).
   uint32_t jobs = 1;
+  /// Memory budget for concurrently-loaded scenarios, MB; 0 = unlimited.
+  /// High --jobs multiplies peak RSS (one loaded cluster per worker); the
+  /// sweep keeps the summed footprint hints under this cap.
+  uint64_t mem_budget_mb = 0;
+
+  /// mem_budget_mb in bytes (what SweepExecutor consumes).
+  uint64_t MemBudgetBytes() const { return mem_budget_mb * (1ull << 20); }
   std::string json_path;  ///< empty = BENCH_<bench name>.json
   bool emit_json = true;
   bool help = false;      ///< --help was given; caller prints usage, exits 0

@@ -3,17 +3,18 @@
 // seconds.
 #include <benchmark/benchmark.h>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/zipf.h"
 #include "partition/contention_model.h"
 #include "partition/multilevel_partitioner.h"
 #include "partition/stats_collector.h"
 #include "partition/workload_graph.h"
+#include "runner/runner.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "storage/lock_word.h"
 #include "txn/dependency_graph.h"
-#include "workload/flight.h"
 
 namespace chiller {
 namespace {
@@ -100,20 +101,44 @@ void BM_ContentionForMillionRecords(benchmark::State& state) {
 BENCHMARK(BM_ContentionForMillionRecords)->Unit(benchmark::kMillisecond);
 
 void BM_TwoRegionPlan(benchmark::State& state) {
-  workload::FlightPartitioner part(8, 10);
-  auto t = workload::MakeBookingTxn(5, 12345);
+  // Wired through the scenario runner — the flight bundle supplies the
+  // partitioner and the transaction source, exactly as a real run would.
+  runner::ScenarioSpec spec;
+  spec.workload = "flight";
+  spec.nodes = 8;
+  auto env = runner::ScenarioRunner::Wire(spec);
+  CHILLER_CHECK(env.ok()) << env.status().ToString();
+  const partition::RecordPartitioner* part = env->bundle->partitioner();
+  Rng rng(12345);
+  auto t = env->bundle->source()->Next(/*home=*/5, &rng);
   t->ResolveReadyKeys();
   for (auto& a : t->accesses) {
-    if (a.key_resolved) a.partition = part.PartitionOf(a.rid);
+    if (a.key_resolved) a.partition = part->PartitionOf(a.rid);
   }
   for (auto _ : state) {
     auto plan = txn::DependencyAnalysis::Plan(
-        *t, [&](const RecordId& r) { return part.IsHot(r); },
-        [&](const RecordId& r) { return part.PartitionOf(r); });
+        *t, [&](const RecordId& r) { return part->IsHot(r); },
+        [&](const RecordId& r) { return part->PartitionOf(r); });
     benchmark::DoNotOptimize(plan.inner_host);
   }
 }
 BENCHMARK(BM_TwoRegionPlan);
+
+/// Full scenario wiring (schema, data load, partitioner, protocol, driver)
+/// for a small ycsb cluster: the fixed cost every sweep point pays before
+/// its first simulated event.
+void BM_ScenarioWire(benchmark::State& state) {
+  runner::ScenarioSpec spec;
+  spec.workload = "ycsb";
+  spec.nodes = 4;
+  spec.options.Set("keys_per_partition", 1000);
+  for (auto _ : state) {
+    auto env = runner::ScenarioRunner::Wire(spec);
+    CHILLER_CHECK(env.ok()) << env.status().ToString();
+    benchmark::DoNotOptimize(env->cluster->TotalPrimaryRecords());
+  }
+}
+BENCHMARK(BM_ScenarioWire)->Unit(benchmark::kMillisecond);
 
 void BM_MultilevelPartition(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));

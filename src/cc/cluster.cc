@@ -63,6 +63,22 @@ void Cluster::LoadEverywhere(const RecordId& rid,
   }
 }
 
+StatusOr<storage::Record> Cluster::ExtractRecord(const RecordId& rid,
+                                                 PartitionId from) {
+  if (from >= primaries_.size()) {
+    return Status::InvalidArgument("no partition " + std::to_string(from));
+  }
+  return primaries_[from]->ExtractRecord(rid);
+}
+
+Status Cluster::InstallRecord(const RecordId& rid, PartitionId to,
+                              storage::Record record) {
+  if (to >= primaries_.size()) {
+    return Status::InvalidArgument("no partition " + std::to_string(to));
+  }
+  return primaries_[to]->InstallRecord(rid, std::move(record));
+}
+
 size_t Cluster::TotalPrimaryRecords() const {
   size_t total = 0;
   for (const auto& p : primaries_) total += p->num_records();

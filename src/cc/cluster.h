@@ -75,6 +75,16 @@ class Cluster {
   /// replica) — for fully replicated read-only tables like TPC-C ITEM.
   void LoadEverywhere(const RecordId& rid, const storage::Record& record);
 
+  /// Migration path: removes the record from primary `from` and returns it.
+  /// Replica copies are untouched — the caller resyncs them through the
+  /// ReplicationManager (see cc::MigrateToLayout).
+  StatusOr<storage::Record> ExtractRecord(const RecordId& rid,
+                                          PartitionId from);
+
+  /// Migration path: installs an extracted record at primary `to`.
+  Status InstallRecord(const RecordId& rid, PartitionId to,
+                       storage::Record record);
+
   /// Total committed-state records across primaries (sanity checks).
   size_t TotalPrimaryRecords() const;
 

@@ -36,6 +36,7 @@ void Driver::Launch(EngineId e, std::shared_ptr<txn::Transaction> t) {
 }
 
 void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
+  if (observer_ && t->outcome == txn::Outcome::kCommitted) observer_(*t);
   if (measuring_) {
     stats_.EnsureClass(t->txn_class, source_->ClassName(t->txn_class));
     ClassStats& cs = stats_.classes[t->txn_class];
@@ -76,23 +77,52 @@ void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
   StartSlot(e);
 }
 
-void Driver::DrainAndStop() {
+void Driver::Start() {
+  CHILLER_CHECK(!stopped_) << "driver is quiesced; use Resume()";
+  if (started_) return;
+  started_ = true;
+  for (EngineId e = 0; e < cluster_->num_engines(); ++e) {
+    for (uint32_t s = 0; s < concurrent_; ++s) StartSlot(e);
+  }
+}
+
+void Driver::Advance(SimTime duration) {
+  cluster_->sim()->RunUntil(cluster_->sim()->now() + duration);
+}
+
+void Driver::Quiesce() {
   stopped_ = true;
   cluster_->sim()->Run();
 }
 
-RunStats Driver::Run(SimTime warmup, SimTime measure) {
+void Driver::Resume() {
+  CHILLER_CHECK(started_) << "Resume without Start";
+  stopped_ = false;
   for (EngineId e = 0; e < cluster_->num_engines(); ++e) {
     for (uint32_t s = 0; s < concurrent_; ++s) StartSlot(e);
   }
-  cluster_->sim()->RunUntil(warmup);
+}
+
+void Driver::SetCommitObserver(CommitObserver observer) {
+  observer_ = std::move(observer);
+}
+
+void Driver::ResetStats() {
   for (auto& cs : stats_.classes) {
     ClassStats fresh;
     fresh.name = cs.name;
     cs = std::move(fresh);
   }
+}
+
+void Driver::DrainAndStop() { Quiesce(); }
+
+RunStats Driver::Run(SimTime warmup, SimTime measure) {
+  Start();
+  Advance(warmup);
+  ResetStats();
   measuring_ = true;
-  cluster_->sim()->RunUntil(warmup + measure);
+  Advance(measure);
   measuring_ = false;
   stats_.window = measure;
   return stats_;

@@ -35,8 +35,19 @@ class WorkloadSource {
 /// "# concurrent txns per warehouse" knob, Figure 9). Conflict-aborted
 /// transactions retry with a small jittered backoff; committed and
 /// user-aborted slots draw a fresh transaction.
+///
+/// The closed loop is exposed as phase primitives (Start / Advance /
+/// Quiesce / Resume, plus the measurement toggles) so a caller can compose
+/// arbitrary phase plans — warmup, live stats sampling, a quiesced layout
+/// migration, measurement — on one driver. Run() is the classic two-phase
+/// warmup+measure composition of those primitives.
 class Driver {
  public:
+  /// Observes every *committed* transaction, whether or not the driver is
+  /// measuring. The paper's Section 4.1 statistics service attaches a
+  /// sampling StatsCollector here during sample phases.
+  using CommitObserver = std::function<void(const txn::Transaction&)>;
+
   Driver(Cluster* cluster, Protocol* protocol, WorkloadSource* source,
          uint32_t concurrent_per_engine, uint64_t seed = 1);
 
@@ -44,9 +55,37 @@ class Driver {
   /// `measure`. Returns the stats of the measurement window.
   RunStats Run(SimTime warmup, SimTime measure);
 
-  /// Stops refilling slots and runs the simulator until every in-flight
-  /// transaction settles (all locks released, replication quiesced).
-  /// Integration tests call this before checking storage invariants.
+  /// Fills every engine's transaction slots. Idempotent: only the first
+  /// call launches anything.
+  void Start();
+
+  /// Advances the simulator `duration` ns past its current time, with the
+  /// closed loop refilling slots throughout (one phase of a phase plan).
+  void Advance(SimTime duration);
+
+  /// Stops refilling slots and drains every in-flight transaction (all
+  /// locks released, replication quiesced); simulated time advances to the
+  /// last settling event. The cluster is then safe to mutate structurally
+  /// (e.g. record migration). Resume() restarts the closed loop.
+  void Quiesce();
+
+  /// Refills every slot after a Quiesce() and re-arms the closed loop.
+  void Resume();
+
+  /// Installs (or, with nullptr, removes) the commit observer.
+  void SetCommitObserver(CommitObserver observer);
+
+  /// Clears the per-class counters, keeping class names (end of warmup).
+  void ResetStats();
+
+  /// Toggles whether finished transactions are counted into stats().
+  void set_measuring(bool measuring) { measuring_ = measuring; }
+
+  /// Records the total measured window length into stats().
+  void set_measured_window(SimTime window) { stats_.window = window; }
+
+  /// Alias of Quiesce() for the classic Run() call sites: integration
+  /// tests call this before checking storage invariants.
   void DrainAndStop();
 
   const RunStats& stats() const { return stats_; }
@@ -62,7 +101,9 @@ class Driver {
   uint32_t concurrent_;
   Rng rng_;
   RunStats stats_;
+  CommitObserver observer_;
   bool measuring_ = false;
+  bool started_ = false;
   bool stopped_ = false;
   TxnId next_id_ = 1;
 };

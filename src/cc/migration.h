@@ -1,0 +1,44 @@
+// Online record migration: moves a quiesced cluster's primary records to
+// match a new partitioning layout, paying simulated network cost.
+#ifndef CHILLER_CC_MIGRATION_H_
+#define CHILLER_CC_MIGRATION_H_
+
+#include "cc/cluster.h"
+#include "cc/replication.h"
+#include "common/status.h"
+#include "partition/lookup_table.h"
+
+namespace chiller::cc {
+
+/// What a relayout cost: the records that physically moved, the bytes that
+/// crossed the fabric for them, and the simulated time the cluster spent
+/// migrating (the "pause" the measure phase pays for a better layout).
+struct MigrationStats {
+  uint64_t moved_records = 0;
+  uint64_t moved_bytes = 0;
+  SimTime sim_time = 0;
+
+  friend bool operator==(const MigrationStats&, const MigrationStats&) =
+      default;
+};
+
+/// Moves every primary record whose placement under `layout` differs from
+/// the partition currently holding it, then resyncs replicas through
+/// `repl`: the old partition's replicas erase the record, the new
+/// partition's replicas receive its image. Each per-partition-pair batch is
+/// shipped primary-to-primary over the RPC layer, so moves pay transfer
+/// and apply costs in simulated time; the function runs the simulator
+/// until every move and replica ack settles.
+///
+/// Records resident in more than one primary (fully replicated read-only
+/// tables loaded via LoadEverywhere) are left in place everywhere.
+///
+/// Requires a quiesced cluster: fails with FailedPrecondition if any
+/// primary still holds locks.
+StatusOr<MigrationStats> MigrateToLayout(
+    Cluster* cluster, ReplicationManager* repl,
+    const partition::RecordPartitioner& layout);
+
+}  // namespace chiller::cc
+
+#endif  // CHILLER_CC_MIGRATION_H_

@@ -87,6 +87,38 @@ class LookupPartitioner : public RecordPartitioner {
   std::unordered_set<RecordId> hot_;
 };
 
+/// Mutable indirection for online repartitioning (paper Section 4.1's
+/// observe -> replan -> migrate loop): protocols hold a stable
+/// RecordPartitioner* for the lifetime of a run, while the runner swaps the
+/// delegate between execution phases. Swapping is only safe while the
+/// cluster is quiesced AND the physical placement has been migrated to
+/// match the new delegate — the runner's migrate phase owns that protocol.
+class SwappablePartitioner : public RecordPartitioner {
+ public:
+  explicit SwappablePartitioner(std::unique_ptr<RecordPartitioner> initial)
+      : active_(std::move(initial)) {}
+
+  const RecordPartitioner* active() const { return active_.get(); }
+
+  /// Installs `next` as the live layout and returns the previous one.
+  std::unique_ptr<RecordPartitioner> Swap(
+      std::unique_ptr<RecordPartitioner> next) {
+    active_.swap(next);
+    return next;
+  }
+
+  PartitionId PartitionOf(const RecordId& rid) const override {
+    return active_->PartitionOf(rid);
+  }
+  bool IsHot(const RecordId& rid) const override {
+    return active_->IsHot(rid);
+  }
+  size_t LookupEntries() const override { return active_->LookupEntries(); }
+
+ private:
+  std::unique_ptr<RecordPartitioner> active_;
+};
+
 }  // namespace chiller::partition
 
 #endif  // CHILLER_PARTITION_LOOKUP_TABLE_H_

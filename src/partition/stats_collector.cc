@@ -18,6 +18,7 @@ void StatsCollector::Observe(const txn::Transaction& t) {
 }
 
 void StatsCollector::ObserveTrace(const TxnAccessTrace& trace) {
+  if (retain_traces_) traces_.push_back(trace);
   sampled_txns_ += trace.multiplicity;
   for (const auto& [rid, write] : trace.accesses) {
     RecordCounts& c = records_[rid];

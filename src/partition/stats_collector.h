@@ -31,11 +31,21 @@ class StatsCollector {
   explicit StatsCollector(double sample_rate = 1.0, uint64_t seed = 1)
       : sample_rate_(sample_rate), rng_(seed) {}
 
+  /// Retunes the sampling rate mid-stream (a later sample phase may widen
+  /// or narrow the net); already-recorded samples are kept.
+  void set_sample_rate(double rate) { sample_rate_ = rate; }
+
   /// Online path: called with an executed transaction; applies sampling.
   void Observe(const txn::Transaction& t);
 
   /// Offline path: ingests a pre-extracted access set (no sampling).
   void ObserveTrace(const TxnAccessTrace& trace);
+
+  /// Keep every sampled access set, not just the aggregate counts. The
+  /// online repartitioning loop needs the raw traces (co-access structure)
+  /// to rebuild the workload graph; pure frequency consumers leave this off.
+  void set_retain_traces(bool retain) { retain_traces_ = retain; }
+  const std::vector<TxnAccessTrace>& traces() const { return traces_; }
 
   struct RecordCounts {
     uint64_t reads = 0;
@@ -60,6 +70,8 @@ class StatsCollector {
  private:
   double sample_rate_;
   Rng rng_;
+  bool retain_traces_ = false;
+  std::vector<TxnAccessTrace> traces_;
   std::unordered_map<RecordId, RecordCounts> records_;
   uint64_t sampled_txns_ = 0;
 };

@@ -248,13 +248,9 @@ class YcsbBundle : public WorkloadBundle {
   ycsb::YcsbPartitioner partitioner_;
 };
 
-StatusOr<std::unique_ptr<WorkloadBundle>> MakeYcsb(const ScenarioSpec& spec) {
+StatusOr<ycsb::YcsbWorkload::Options> ParseYcsbOptions(
+    const ScenarioSpec& spec) {
   const OptionMap& o = spec.options;
-  Status st = o.ExpectOnly({"keys_per_partition", "theta", "read_ratio",
-                            "distributed_ratio", "ops_per_txn",
-                            "hot_keys_per_partition", "initial_value"});
-  if (!st.ok()) return st;
-
   ycsb::YcsbWorkload::Options w;
   w.num_partitions = spec.partitions();
   w.keys_per_partition = o.GetInt("keys_per_partition", w.keys_per_partition);
@@ -278,7 +274,71 @@ StatusOr<std::unique_ptr<WorkloadBundle>> MakeYcsb(const ScenarioSpec& spec) {
     return Status::InvalidArgument(
         "ycsb ops_per_txn must be in [1, keys_per_partition]");
   }
-  return std::unique_ptr<WorkloadBundle>(std::make_unique<YcsbBundle>(w));
+  return w;
+}
+
+StatusOr<std::unique_ptr<WorkloadBundle>> MakeYcsb(const ScenarioSpec& spec) {
+  Status st = spec.options.ExpectOnly(
+      {"keys_per_partition", "theta", "read_ratio", "distributed_ratio",
+       "ops_per_txn", "hot_keys_per_partition", "initial_value"});
+  if (!st.ok()) return st;
+  auto w = ParseYcsbOptions(spec);
+  if (!w.ok()) return w.status();
+  return std::unique_ptr<WorkloadBundle>(
+      std::make_unique<YcsbBundle>(w.value()));
+}
+
+// ---------------------------------------------------------------------------
+// adaptive — ycsb traffic on a layout the runner may rebuild while it runs
+// ---------------------------------------------------------------------------
+
+/// The online-repartitioning scenario family (paper Section 4.1 end to
+/// end): ycsb traffic starts on a contention-oblivious HashPartitioner
+/// layout, and the bundle exposes the live partitioner as swappable so
+/// sample/replan/migrate phases can converge it onto a Chiller layout.
+class AdaptiveYcsbBundle : public WorkloadBundle {
+ public:
+  explicit AdaptiveYcsbBundle(ycsb::YcsbWorkload::Options options)
+      : workload_(options),
+        swappable_(std::make_unique<partition::HashPartitioner>(
+            options.num_partitions)) {}
+
+  std::vector<storage::TableSpec> Schema() const override {
+    return ycsb::Schema();
+  }
+  const partition::RecordPartitioner* partitioner() const override {
+    return &swappable_;
+  }
+  partition::SwappablePartitioner* adaptive_partitioner() override {
+    return &swappable_;
+  }
+  cc::WorkloadSource* source() override { return &workload_; }
+
+  void Load(cc::Cluster* cluster) const override {
+    workload_.ForEachRecord(
+        [&](const RecordId& rid, const storage::Record& rec) {
+          cluster->LoadRecord(rid, rec, swappable_);
+        });
+  }
+
+ private:
+  ycsb::YcsbWorkload workload_;
+  partition::SwappablePartitioner swappable_;
+};
+
+StatusOr<std::unique_ptr<WorkloadBundle>> MakeAdaptive(
+    const ScenarioSpec& spec) {
+  // hot_keys_per_partition is deliberately not a knob here: pre-replan the
+  // hash layout knows no hot records, and post-replan hotness comes from
+  // the sampled contention likelihoods, not a rank threshold.
+  Status st = spec.options.ExpectOnly(
+      {"keys_per_partition", "theta", "read_ratio", "distributed_ratio",
+       "ops_per_txn", "initial_value"});
+  if (!st.ok()) return st;
+  auto w = ParseYcsbOptions(spec);
+  if (!w.ok()) return w.status();
+  return std::unique_ptr<WorkloadBundle>(
+      std::make_unique<AdaptiveYcsbBundle>(w.value()));
 }
 
 }  // namespace
@@ -289,6 +349,7 @@ void RegisterBuiltinWorkloads(WorkloadRegistry* registry) {
   must(registry->Register("instacart", MakeInstacart));
   must(registry->Register("flight", MakeFlight));
   must(registry->Register("ycsb", MakeYcsb));
+  must(registry->Register("adaptive", MakeAdaptive));
 }
 
 }  // namespace chiller::runner

@@ -41,6 +41,14 @@ class WorkloadBundle {
   virtual const partition::RecordPartitioner* partitioner() const = 0;
   virtual cc::WorkloadSource* source() = 0;
 
+  /// Non-null iff this workload's layout may be rebuilt while it runs: the
+  /// replan/migrate phases swap the returned partitioner's delegate. The
+  /// default (frozen layout) is null, and plans with adaptive phases fail
+  /// on such bundles instead of silently measuring a stale layout.
+  virtual partition::SwappablePartitioner* adaptive_partitioner() {
+    return nullptr;
+  }
+
   /// Loads the initial database into the cluster (via LoadRecord /
   /// LoadEverywhere) using this bundle's partitioner.
   virtual void Load(cc::Cluster* cluster) const = 0;

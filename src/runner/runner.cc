@@ -1,11 +1,75 @@
 #include "runner/runner.h"
 
 #include <chrono>
+#include <memory>
 #include <utility>
 
+#include "cc/migration.h"
 #include "net/topology.h"
+#include "partition/chiller_partitioner.h"
+#include "partition/stats_collector.h"
 
 namespace chiller::runner {
+
+namespace {
+
+/// Plan-structure checks shared by Validate: every adaptive plan must
+/// sample before it replans and migrate immediately after, so the live
+/// layout never disagrees with the physical record placement.
+Status ValidatePhases(const std::vector<Phase>& phases) {
+  bool sampled = false;
+  bool measured = false;
+  bool pending_replan = false;
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const Phase& ph = phases[i];
+    if (pending_replan && ph.kind != PhaseKind::kMigrate) {
+      return Status::InvalidArgument(
+          "a replan phase must be followed immediately by a migrate phase "
+          "(the built layout is not live until records move)");
+    }
+    switch (ph.kind) {
+      case PhaseKind::kWarmup:
+      case PhaseKind::kMeasure:
+        if (ph.duration == 0) {
+          return Status::InvalidArgument("timed phases must have duration > 0");
+        }
+        measured |= ph.kind == PhaseKind::kMeasure;
+        break;
+      case PhaseKind::kSample:
+        if (ph.duration == 0) {
+          return Status::InvalidArgument("timed phases must have duration > 0");
+        }
+        if (ph.sample_rate <= 0.0 || ph.sample_rate > 1.0) {
+          return Status::InvalidArgument("sample_rate must be in (0, 1]");
+        }
+        sampled = true;
+        break;
+      case PhaseKind::kReplan:
+        if (!sampled) {
+          return Status::InvalidArgument(
+              "a replan phase needs an earlier sample phase");
+        }
+        pending_replan = true;
+        break;
+      case PhaseKind::kMigrate:
+        if (!pending_replan) {
+          return Status::InvalidArgument(
+              "a migrate phase needs an immediately preceding replan phase");
+        }
+        pending_replan = false;
+        break;
+    }
+  }
+  if (pending_replan) {
+    return Status::InvalidArgument("a replan phase must not end the plan");
+  }
+  if (!measured) {
+    return Status::InvalidArgument("the phase plan must measure something");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status ScenarioRunner::Validate(const ScenarioSpec& spec) {
   if (spec.nodes == 0 || spec.engines_per_node == 0) {
@@ -18,10 +82,13 @@ Status ScenarioRunner::Validate(const ScenarioSpec& spec) {
   if (spec.concurrency == 0) {
     return Status::InvalidArgument("concurrency must be >= 1");
   }
-  if (spec.measure == 0) {
-    return Status::InvalidArgument("measurement window must be > 0");
+  if (spec.phases.empty()) {
+    if (spec.measure == 0) {
+      return Status::InvalidArgument("measurement window must be > 0");
+    }
+    return Status::OK();
   }
-  return Status::OK();
+  return ValidatePhases(spec.phases);
 }
 
 StatusOr<ScenarioEnv> ScenarioRunner::Wire(const ScenarioSpec& spec) {
@@ -62,8 +129,102 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
 
   ScenarioResult result;
   result.spec = spec;
-  result.stats = env->driver->Run(spec.warmup, spec.measure);
-  env->driver->DrainAndStop();
+
+  cc::Driver* driver = env->driver.get();
+  const std::vector<Phase> plan = spec.EffectivePhases();
+
+  // Section 4.1 loop state, alive across phases: the sampling statistics
+  // service and the layout the last replan built but has not yet migrated.
+  std::unique_ptr<partition::StatsCollector> collector;
+  std::unique_ptr<partition::LookupPartitioner> pending_layout;
+
+  driver->Start();
+  SimTime measured = 0;
+  bool stats_reset = false;
+  for (const Phase& ph : plan) {
+    switch (ph.kind) {
+      case PhaseKind::kWarmup:
+        driver->Advance(ph.duration);
+        break;
+
+      case PhaseKind::kSample: {
+        if (collector == nullptr) {
+          collector = std::make_unique<partition::StatsCollector>(
+              ph.sample_rate, spec.seed);
+          collector->set_retain_traces(true);
+        } else {
+          // A later sample phase accumulates into the same collector (the
+          // service's view of the workload only grows) at its own rate.
+          collector->set_sample_rate(ph.sample_rate);
+        }
+        partition::StatsCollector* stats = collector.get();
+        driver->SetCommitObserver(
+            [stats](const txn::Transaction& t) { stats->Observe(t); });
+        driver->Advance(ph.duration);
+        driver->SetCommitObserver(nullptr);
+        result.adaptive.sampled_txns = collector->sampled_txns();
+        break;
+      }
+
+      case PhaseKind::kReplan: {
+        if (env->bundle->adaptive_partitioner() == nullptr) {
+          return Status::FailedPrecondition(
+              "workload '" + spec.workload +
+              "' has a frozen layout; replan phases need an adaptive "
+              "workload (one whose bundle exposes a swappable partitioner)");
+        }
+        partition::ChillerPartitioner::Options popts;
+        popts.k = spec.partitions();
+        popts.seed = spec.seed;
+        popts.hot_threshold = ph.hot_threshold;
+        // The collector's per-record frequencies are relative to the
+        // cluster-wide commit stream, so the lock window that turns them
+        // into arrival rates is everything concurrently in flight
+        // cluster-wide. The hot threshold (phase knob) then bounds the
+        // hot set to the contended head — Section 4.4's small lookup
+        // table — rather than the whole sampled tail.
+        popts.lock_window_txns =
+            static_cast<double>(spec.concurrency) * spec.partitions();
+        auto out =
+            partition::ChillerPartitioner::Build(collector->traces(), popts);
+        result.adaptive.hot_records = out.hot_records.size();
+        result.adaptive.lookup_entries = out.report.lookup_entries;
+        pending_layout = std::move(out.partitioner);
+        break;
+      }
+
+      case PhaseKind::kMigrate: {
+        // Drain in-flight transactions, make the new layout live, move the
+        // records to match it, then re-arm the closed loop. The swap and
+        // the moves are invisible to execution: nothing runs in between.
+        driver->Quiesce();
+        partition::SwappablePartitioner* live =
+            env->bundle->adaptive_partitioner();
+        live->Swap(std::move(pending_layout));
+        auto migration =
+            cc::MigrateToLayout(env->cluster.get(), env->repl.get(), *live);
+        if (!migration.ok()) return migration.status();
+        result.adaptive.migration = migration.value();
+        driver->Resume();
+        break;
+      }
+
+      case PhaseKind::kMeasure:
+        if (!stats_reset) {
+          driver->ResetStats();
+          stats_reset = true;
+        }
+        driver->set_measuring(true);
+        driver->Advance(ph.duration);
+        driver->set_measuring(false);
+        measured += ph.duration;
+        break;
+    }
+  }
+  driver->set_measured_window(measured);
+  result.stats = driver->stats();
+  driver->DrainAndStop();
+
   result.wall_ms = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - wall_start)
                        .count();

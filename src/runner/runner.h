@@ -30,15 +30,20 @@ struct ScenarioEnv {
 class ScenarioRunner {
  public:
   /// Structural checks that need no registry lookup (positive topology,
-  /// positive measurement window, positive concurrency).
+  /// positive concurrency, and a well-formed phase plan: timed phases have
+  /// positive durations, sampling precedes replanning, and every replan is
+  /// immediately migrated).
   static Status Validate(const ScenarioSpec& spec);
 
   /// Resolves the workload and protocol from the global registries, builds
   /// the cluster, and loads the initial database. Does not run anything.
   static StatusOr<ScenarioEnv> Wire(const ScenarioSpec& spec);
 
-  /// Wire() + warmup + measured window + drain. The result is a pure
-  /// function of the spec: scenarios can run on any thread in any order.
+  /// Wire() + the spec's phase plan + drain. The default plan is the
+  /// classic warmup -> measure pair; adaptive plans interleave live stats
+  /// sampling, a layout replan, and a quiesced record migration (paper
+  /// Section 4.1's loop). The result is a pure function of the spec:
+  /// scenarios can run on any thread in any order.
   static StatusOr<ScenarioResult> Run(const ScenarioSpec& spec);
 };
 

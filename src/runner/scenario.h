@@ -9,12 +9,55 @@
 #define CHILLER_RUNNER_SCENARIO_H_
 
 #include <string>
+#include <vector>
 
+#include "cc/migration.h"
 #include "cc/protocol.h"
 #include "common/types.h"
 #include "runner/options.h"
 
 namespace chiller::runner {
+
+/// One step of a scenario's phase plan (see ScenarioSpec::phases).
+enum class PhaseKind : uint8_t {
+  kWarmup,   ///< run the closed loop, discard stats
+  kSample,   ///< run the closed loop with a sampling StatsCollector attached
+  kReplan,   ///< build a Chiller layout from the samples (no simulated time)
+  kMigrate,  ///< quiesce, swap the live layout, physically move records
+  kMeasure,  ///< run the closed loop, count stats
+};
+
+/// A phase plan entry. Timed phases (warmup/sample/measure) advance the
+/// simulator by `duration`; replan/migrate are instantaneous decisions whose
+/// cost shows up as the simulated migration pause. Build entries with the
+/// factories so irrelevant knobs stay at their comparable defaults.
+struct Phase {
+  PhaseKind kind = PhaseKind::kMeasure;
+  SimTime duration = 0;
+  /// kSample: fraction of committed transactions recorded (paper: 0.001).
+  double sample_rate = 1.0;
+  /// kReplan: contention-likelihood threshold for the hot lookup table.
+  /// The default keeps the hot set small (tens of records per partition on
+  /// a zipf-0.9 workload) — the Section 4.4 regime the lookup table and
+  /// the two-region planner are designed for.
+  double hot_threshold = 0.05;
+
+  static Phase Warmup(SimTime d) {
+    return {.kind = PhaseKind::kWarmup, .duration = d};
+  }
+  static Phase Sample(SimTime d, double rate) {
+    return {.kind = PhaseKind::kSample, .duration = d, .sample_rate = rate};
+  }
+  static Phase Replan(double hot_threshold = 0.05) {
+    return {.kind = PhaseKind::kReplan, .hot_threshold = hot_threshold};
+  }
+  static Phase Migrate() { return {.kind = PhaseKind::kMigrate}; }
+  static Phase Measure(SimTime d) {
+    return {.kind = PhaseKind::kMeasure, .duration = d};
+  }
+
+  friend bool operator==(const Phase&, const Phase&) = default;
+};
 
 struct ScenarioSpec {
   /// Free-form tag carried into the result (series name, grid point, ...).
@@ -41,9 +84,38 @@ struct ScenarioSpec {
   SimTime warmup = 3 * kMillisecond;
   SimTime measure = 15 * kMillisecond;
 
+  /// Execution phase plan. Empty means the classic two-phase run,
+  /// warmup -> measure, taken from the fields above (which the plan
+  /// supersedes when non-empty). Sample/replan/migrate phases reproduce the
+  /// paper's Section 4.1 adaptive loop and require a workload whose bundle
+  /// exposes an adaptive partitioner (e.g. the `adaptive` family).
+  std::vector<Phase> phases;
+
+  /// Approximate peak resident bytes this scenario needs while loaded
+  /// (cluster + replicas). 0 = unknown. SweepExecutor uses it to cap the
+  /// scenarios loaded concurrently against a memory budget; see
+  /// EstimateFootprint() for a rough per-workload estimate.
+  uint64_t footprint_hint = 0;
+
   uint32_t partitions() const { return nodes * engines_per_node; }
 
+  /// The plan Run() executes: `phases`, or the legacy two-phase shape.
+  std::vector<Phase> EffectivePhases() const {
+    if (!phases.empty()) return phases;
+    return {Phase::Warmup(warmup), Phase::Measure(measure)};
+  }
+
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Adaptive-loop accounting for one scenario run: what the sampling service
+/// saw, what the replan decided, and what the migration cost. All zero for
+/// plans without sample/replan/migrate phases.
+struct AdaptiveReport {
+  uint64_t sampled_txns = 0;
+  size_t hot_records = 0;
+  size_t lookup_entries = 0;
+  cc::MigrationStats migration;
 };
 
 /// Outcome of one scenario: the spec it ran plus the measurement-window
@@ -51,6 +123,7 @@ struct ScenarioSpec {
 struct ScenarioResult {
   ScenarioSpec spec;
   cc::RunStats stats;
+  AdaptiveReport adaptive;
   double wall_ms = 0.0;
 };
 

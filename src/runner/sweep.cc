@@ -1,5 +1,6 @@
 #include "runner/sweep.h"
 
+#include <condition_variable>
 #include <mutex>
 #include <optional>
 
@@ -14,8 +15,37 @@ uint32_t ResolveJobs(uint32_t jobs) {
 std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
     const std::vector<ScenarioSpec>& specs, const ProgressFn& progress) const {
   std::mutex progress_mu;
+
+  // Memory-budget gate: a worker reserves its spec's footprint hint before
+  // wiring the scenario and releases it after. The "alone" clause (a
+  // worker with nothing else in flight always proceeds) guarantees
+  // progress for specs larger than the whole budget.
+  std::mutex budget_mu;
+  std::condition_variable budget_cv;
+  uint64_t budget_in_use = 0;
+  const uint64_t budget = mem_budget_bytes_;
+  auto reserve = [&](uint64_t hint) {
+    if (budget == 0 || hint == 0) return;
+    std::unique_lock<std::mutex> lock(budget_mu);
+    budget_cv.wait(lock, [&] {
+      return budget_in_use == 0 || budget_in_use + hint <= budget;
+    });
+    budget_in_use += hint;
+  };
+  auto release = [&](uint64_t hint) {
+    if (budget == 0 || hint == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(budget_mu);
+      budget_in_use -= hint;
+    }
+    budget_cv.notify_all();
+  };
+
   auto run_one = [&](size_t i) -> StatusOr<ScenarioResult> {
+    const uint64_t hint = specs[i].footprint_hint;
+    reserve(hint);
     StatusOr<ScenarioResult> result = ScenarioRunner::Run(specs[i]);
+    release(hint);
     if (progress) {
       std::lock_guard<std::mutex> lock(progress_mu);
       progress(i, result);
@@ -33,6 +63,39 @@ std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
   results.reserve(slots.size());
   for (auto& slot : slots) results.push_back(std::move(*slot));
   return results;
+}
+
+uint64_t EstimateFootprint(const ScenarioSpec& spec) {
+  // Every store keeps records as vectors of int64 fields plus bucket and
+  // index overhead; replicas multiply the whole database.
+  const uint64_t copies = spec.replication_degree;
+  constexpr uint64_t kPerRecordOverhead = 96;  // bucket entry + vector slack
+
+  uint64_t records = 0;
+  uint64_t bytes_per_record = 0;
+  if (spec.workload == "tpcc") {
+    // Dominated by STOCK (100k rows/warehouse) and CUSTOMER (30k).
+    const uint64_t warehouses =
+        spec.options.GetInt("num_warehouses", spec.partitions());
+    records = warehouses * 150000;
+    bytes_per_record = 330;
+  } else if (spec.workload == "ycsb" || spec.workload == "adaptive") {
+    records = static_cast<uint64_t>(spec.partitions()) *
+              spec.options.GetInt("keys_per_partition", 10000);
+    bytes_per_record = 8 * 8;
+  } else if (spec.workload == "instacart") {
+    records = spec.options.GetInt("num_products", 49688) +
+              spec.options.GetInt("num_customers", 200000);
+    bytes_per_record = 64;
+  } else if (spec.workload == "flight") {
+    records = spec.options.GetInt("num_flights", 1000) +
+              spec.options.GetInt("num_customers", 100000) +
+              spec.options.GetInt("num_states", 50);
+    bytes_per_record = 64;
+  } else {
+    return 0;  // unknown workload: never gate on a guess
+  }
+  return copies * records * (bytes_per_record + kPerRecordOverhead);
 }
 
 }  // namespace chiller::runner

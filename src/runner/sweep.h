@@ -66,6 +66,15 @@ class SweepExecutor {
 
   uint32_t jobs() const { return jobs_; }
 
+  /// Caps the summed ScenarioSpec::footprint_hint of concurrently-running
+  /// scenarios (N concurrent TPC-C clusters multiply peak RSS). 0 =
+  /// unlimited. A worker whose next spec would exceed the budget waits for
+  /// in-flight scenarios to finish; a single spec over budget still runs,
+  /// alone. Specs with hint 0 (unknown) are never gated. Results are
+  /// unaffected — each scenario stays a pure function of its spec.
+  void set_mem_budget_bytes(uint64_t bytes) { mem_budget_bytes_ = bytes; }
+  uint64_t mem_budget_bytes() const { return mem_budget_bytes_; }
+
   /// Called after each scenario completes (any thread, serialized by the
   /// executor): the spec index and its result. Completion order follows
   /// scheduling; the returned vector always follows spec order.
@@ -80,7 +89,14 @@ class SweepExecutor {
 
  private:
   uint32_t jobs_;
+  uint64_t mem_budget_bytes_ = 0;
 };
+
+/// Rough peak resident bytes for one wired scenario (primary + replica
+/// stores, all tables), for ScenarioSpec::footprint_hint. Deliberately
+/// coarse — the budget gate needs relative magnitudes, not an allocator
+/// audit. Returns 0 (unknown) for unrecognized workload keys.
+uint64_t EstimateFootprint(const ScenarioSpec& spec);
 
 }  // namespace chiller::runner
 

@@ -77,6 +77,38 @@ Status PartitionStore::Erase(const RecordId& rid) {
   return table(rid.table)->Erase(rid.key);
 }
 
+StatusOr<Record> PartitionStore::ExtractRecord(const RecordId& rid) {
+  Table* t = table(rid.table);
+  if (!LockWord::IsFree(t->BucketFor(rid.key)->lock_word())) {
+    return Status::FailedPrecondition("bucket of " + rid.ToString() +
+                                      " is locked; migration requires a "
+                                      "quiesced partition");
+  }
+  Record* rec = t->Find(rid.key);
+  if (rec == nullptr) {
+    return Status::NotFound("no record " + rid.ToString() + " to extract");
+  }
+  Record out = std::move(*rec);
+  CHILLER_CHECK(t->Erase(rid.key).ok());
+  return out;
+}
+
+Status PartitionStore::InstallRecord(const RecordId& rid, Record record) {
+  Table* t = table(rid.table);
+  if (!LockWord::IsFree(t->BucketFor(rid.key)->lock_word())) {
+    return Status::FailedPrecondition("bucket of " + rid.ToString() +
+                                      " is locked; migration requires a "
+                                      "quiesced partition");
+  }
+  Status st = t->Insert(rid.key, std::move(record));
+  if (!st.ok()) {
+    return Status::FailedPrecondition("record " + rid.ToString() +
+                                      " already present at partition " +
+                                      std::to_string(id_));
+  }
+  return Status::OK();
+}
+
 size_t PartitionStore::num_records() const {
   size_t n = 0;
   for (const auto& t : tables_) {

@@ -42,6 +42,15 @@ class PartitionStore {
   Status Insert(const RecordId& rid, Record record);
   Status Erase(const RecordId& rid);
 
+  /// Migration path: removes the record and hands it to the caller.
+  /// NotFound if absent; FailedPrecondition if the owning bucket is locked
+  /// (records may only move while the partition is quiesced).
+  StatusOr<Record> ExtractRecord(const RecordId& rid);
+
+  /// Migration path: installs a record extracted elsewhere.
+  /// FailedPrecondition if the key already exists or its bucket is locked.
+  Status InstallRecord(const RecordId& rid, Record record);
+
   /// Total records across tables (load metric for partitioning).
   size_t num_records() const;
 

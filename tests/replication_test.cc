@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "cc/cluster.h"
+#include "cc/migration.h"
 #include "cc/replication.h"
 #include "chiller/two_region.h"
+#include "partition/lookup_table.h"
 #include "workload/flight.h"
 
 namespace chiller {
@@ -148,6 +150,130 @@ TEST(ReplicationTest, BatchCounting) {
   env.repl->Replicate(1, 1, {Put(2, 2)}, 0, [] {});
   env.cluster->sim()->Run();
   EXPECT_EQ(env.repl->batches_sent(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Record migration: relayout a quiesced cluster and resync its replicas.
+// ---------------------------------------------------------------------------
+
+/// Loads keys 0..n-1 into `env` under `layout`, value = key.
+void LoadSequential(ReplEnv* env, uint64_t n,
+                    const partition::RecordPartitioner& layout) {
+  for (uint64_t k = 0; k < n; ++k) {
+    storage::Record r(1);
+    r.Set(0, static_cast<int64_t>(k));
+    env->cluster->LoadRecord(RecordId{0, k}, r, layout);
+  }
+}
+
+/// Asserts the cluster's physical placement matches `layout` exactly:
+/// every record lives in the primary the layout names (hence in exactly
+/// one primary), and each partition's replicas mirror its primary.
+void ExpectPlacementMatches(ReplEnv* env, uint64_t n, uint32_t partitions,
+                            uint32_t replication,
+                            const partition::RecordPartitioner& layout) {
+  for (uint64_t k = 0; k < n; ++k) {
+    const RecordId rid{0, k};
+    const PartitionId home = layout.PartitionOf(rid);
+    for (PartitionId p = 0; p < partitions; ++p) {
+      storage::Record* rec = env->cluster->primary(p)->Find(rid);
+      if (p == home) {
+        ASSERT_NE(rec, nullptr) << rid.ToString() << " missing at " << p;
+        EXPECT_EQ(rec->Get(0), static_cast<int64_t>(k));
+      } else {
+        EXPECT_EQ(rec, nullptr)
+            << rid.ToString() << " resident in two primaries";
+      }
+      for (uint32_t i = 1; i < replication; ++i) {
+        storage::Record* replica = env->cluster->replica(p, i)->Find(rid);
+        if (p == home) {
+          ASSERT_NE(replica, nullptr)
+              << rid.ToString() << " not resynced to replica " << i;
+          EXPECT_EQ(replica->Get(0), static_cast<int64_t>(k));
+        } else {
+          EXPECT_EQ(replica, nullptr)
+              << rid.ToString() << " stale at replica of " << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(MigrationTest, RelayoutConservesRecordsAndResyncsReplicas) {
+  constexpr uint32_t kNodes = 4;
+  constexpr uint32_t kRepl = 2;
+  constexpr uint64_t kKeys = 256;
+  ReplEnv env = MakeEnv(kNodes, kRepl);
+  partition::HashPartitioner initial(kNodes);
+  LoadSequential(&env, kKeys, initial);
+  ASSERT_EQ(env.cluster->TotalPrimaryRecords(), kKeys);
+
+  // Target layout: pin the first 32 keys to partition 0 explicitly (as a
+  // replan's lookup table would), everything else keeps its hash home.
+  partition::LookupPartitioner target(
+      std::make_unique<partition::HashPartitioner>(kNodes));
+  for (uint64_t k = 0; k < 32; ++k) target.Assign(RecordId{0, k}, 0);
+
+  auto stats = cc::MigrateToLayout(env.cluster.get(), env.repl.get(), target);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->moved_records, 0u);
+  EXPECT_GT(stats->moved_bytes, 0u);
+  EXPECT_GT(stats->sim_time, 0u);  // moves pay simulated network time
+
+  EXPECT_EQ(env.cluster->TotalPrimaryRecords(), kKeys);
+  ExpectPlacementMatches(&env, kKeys, kNodes, kRepl, target);
+}
+
+TEST(MigrationTest, NoopWhenLayoutAlreadyMatches) {
+  ReplEnv env = MakeEnv(3, 2);
+  partition::HashPartitioner layout(3);
+  LoadSequential(&env, 64, layout);
+  auto stats = cc::MigrateToLayout(env.cluster.get(), env.repl.get(), layout);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->moved_records, 0u);
+  EXPECT_EQ(stats->moved_bytes, 0u);
+  EXPECT_EQ(env.cluster->TotalPrimaryRecords(), 64u);
+}
+
+TEST(MigrationTest, FullyReplicatedRecordsStayEverywhere) {
+  ReplEnv env = MakeEnv(3, 2);
+  partition::HashPartitioner layout(3);
+  LoadSequential(&env, 64, layout);
+  storage::Record item(1);
+  item.Set(0, 99);
+  env.cluster->LoadEverywhere(RecordId{0, 1000}, item);
+
+  // Whatever the layout says about the replicated record, it must not move
+  // (it is already everywhere) and the rest must still migrate correctly.
+  partition::LookupPartitioner target(
+      std::make_unique<partition::HashPartitioner>(3));
+  target.Assign(RecordId{0, 1000}, 2);
+  for (uint64_t k = 0; k < 8; ++k) target.Assign(RecordId{0, k}, 1);
+  auto stats = cc::MigrateToLayout(env.cluster.get(), env.repl.get(), target);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (PartitionId p = 0; p < 3; ++p) {
+    ASSERT_NE(env.cluster->primary(p)->Find(RecordId{0, 1000}), nullptr);
+  }
+  for (uint64_t k = 0; k < 8; ++k) {
+    EXPECT_NE(env.cluster->primary(1)->Find(RecordId{0, k}), nullptr);
+  }
+}
+
+TEST(MigrationTest, RefusesClustersHoldingLocks) {
+  ReplEnv env = MakeEnv(3, 2);
+  partition::HashPartitioner layout(3);
+  LoadSequential(&env, 16, layout);
+  const RecordId rid{0, 3};
+  storage::PartitionStore* holder =
+      env.cluster->primary(layout.PartitionOf(rid));
+  ASSERT_TRUE(holder->TryLock(rid, storage::LockMode::kExclusive).ok());
+  partition::LookupPartitioner target(
+      std::make_unique<partition::HashPartitioner>(3));
+  target.Assign(rid, (layout.PartitionOf(rid) + 1) % 3);
+  EXPECT_TRUE(cc::MigrateToLayout(env.cluster.get(), env.repl.get(), target)
+                  .status()
+                  .IsFailedPrecondition());
+  holder->Unlock(rid, storage::LockMode::kExclusive, false);
 }
 
 }  // namespace

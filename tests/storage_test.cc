@@ -194,5 +194,61 @@ TEST(PartitionStoreTest, RecordCount) {
   EXPECT_EQ(store.num_records(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Record migration API (online repartitioning)
+// ---------------------------------------------------------------------------
+
+TEST(PartitionStoreTest, ExtractInstallRoundtrip) {
+  PartitionStore from(0, TwoTableSchema());
+  PartitionStore to(1, TwoTableSchema());
+  Record r(2);
+  r.Set(0, 11);
+  r.Set(1, 22);
+  ASSERT_TRUE(from.Insert(RecordId{0, 7}, r).ok());
+
+  auto extracted = from.ExtractRecord(RecordId{0, 7});
+  ASSERT_TRUE(extracted.ok()) << extracted.status().ToString();
+  EXPECT_EQ(from.num_records(), 0u);
+  EXPECT_EQ(from.Find(RecordId{0, 7}), nullptr);
+
+  ASSERT_TRUE(
+      to.InstallRecord(RecordId{0, 7}, std::move(extracted).value()).ok());
+  Record* moved = to.Find(RecordId{0, 7});
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->Get(0), 11);
+  EXPECT_EQ(moved->Get(1), 22);
+}
+
+TEST(PartitionStoreTest, ExtractMissingRecordIsNotFound) {
+  PartitionStore store(0, TwoTableSchema());
+  EXPECT_TRUE(store.ExtractRecord(RecordId{0, 9}).status().IsNotFound());
+}
+
+TEST(PartitionStoreTest, MigrationRefusesLockedBuckets) {
+  PartitionStore store(0, TwoTableSchema());
+  ASSERT_TRUE(store.Insert(RecordId{0, 4}, Record(2)).ok());
+  ASSERT_TRUE(store.TryLock(RecordId{0, 4}, LockMode::kShared).ok());
+  EXPECT_TRUE(
+      store.ExtractRecord(RecordId{0, 4}).status().IsFailedPrecondition());
+  // Locking is per bucket: another key colliding into the locked bucket
+  // is just as unmovable.
+  Key collider = 5;
+  while (store.table(0)->BucketIndex(collider) !=
+         store.table(0)->BucketIndex(4)) {
+    ++collider;
+  }
+  EXPECT_TRUE(store.InstallRecord(RecordId{0, collider}, Record(2))
+                  .IsFailedPrecondition());
+  store.Unlock(RecordId{0, 4}, LockMode::kShared, false);
+  EXPECT_TRUE(store.ExtractRecord(RecordId{0, 4}).ok());
+}
+
+TEST(PartitionStoreTest, InstallDuplicateIsFailedPrecondition) {
+  PartitionStore store(0, TwoTableSchema());
+  ASSERT_TRUE(store.Insert(RecordId{0, 4}, Record(2)).ok());
+  EXPECT_TRUE(store.InstallRecord(RecordId{0, 4}, Record(2))
+                  .IsFailedPrecondition());
+}
+
 }  // namespace
 }  // namespace chiller::storage
