@@ -19,6 +19,7 @@ namespace {
 namespace instacart = workload::instacart;
 
 void Main(const BenchFlags& flags) {
+  RejectLoadModelFlags(flags, "ablation_cooptimization");
   std::printf(
       "Ablation — Section 4.4 co-optimization (min edge weight sweep).\n"
       "Larger minimum weights co-locate whole transactions (fewer\n"

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cc/load_model.h"
 #include "runner/registry.h"
 
 namespace chiller::bench {
@@ -65,6 +66,14 @@ std::string UsageString(const std::string& bench_name,
         "  --duration-ms=F     simulated measurement window, ms (default %g)\n"
         "  --theta=F           Zipf skew where applicable (default %g)\n"
         "  --seed=N            base RNG seed (default %llu)\n"
+        "  --load-model=NAME   closed | open | batched (default %s)\n"
+        "  --offered-tps=F     open loop: cluster-wide offered load, txns/sec"
+        " (default %g)\n"
+        "  --arrival=NAME      open loop: poisson | uniform (default %s)\n"
+        "  --queue-cap=N       open loop: per-engine admission queue bound"
+        " (default %u)\n"
+        "  --batch-size=N      batched: admissions per engine batch"
+        " (default %u)\n"
         "  --jobs=N            sweep worker threads, 0 = all hardware threads"
         " (default %u)\n"
         "  --mem-budget-mb=N   cap summed footprint of concurrently-loaded"
@@ -76,7 +85,8 @@ std::string UsageString(const std::string& bench_name,
         "  --help              show this message\n",
         bench_name.c_str(), protocols.c_str(), d.protocol.c_str(), d.nodes,
         d.engines, d.concurrency, d.warmup_ms, d.duration_ms, d.theta,
-        static_cast<unsigned long long>(d.seed), d.jobs,
+        static_cast<unsigned long long>(d.seed), d.load_model.c_str(),
+        d.offered_tps, d.arrival.c_str(), d.queue_cap, d.batch_size, d.jobs,
         static_cast<unsigned long long>(d.mem_budget_mb), bench_name.c_str());
   };
   const int needed = format(nullptr, 0);
@@ -127,6 +137,22 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
       st = ParseNumber(name, value, &out->theta);
     } else if (name == "seed") {
       st = ParseNumber(name, value, &out->seed);
+    } else if (name == "load-model") {
+      if (value.empty()) {
+        return Status::InvalidArgument("--load-model requires a value");
+      }
+      out->load_model = value;
+    } else if (name == "offered-tps") {
+      st = ParseNumber(name, value, &out->offered_tps);
+    } else if (name == "arrival") {
+      if (value.empty()) {
+        return Status::InvalidArgument("--arrival requires a value");
+      }
+      out->arrival = value;
+    } else if (name == "queue-cap") {
+      st = ParseNumber(name, value, &out->queue_cap);
+    } else if (name == "batch-size") {
+      st = ParseNumber(name, value, &out->batch_size);
     } else if (name == "jobs") {
       st = ParseNumber(name, value, &out->jobs);
     } else if (name == "mem-budget-mb") {
@@ -144,7 +170,16 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
     return Status::InvalidArgument(
         "--warmup-ms must be >= 0 and --duration-ms > 0");
   }
-  return Status::OK();
+  // Same validator and spec conversion the runner applies per scenario,
+  // run here so a bad combination (--load-model=open without
+  // --offered-tps, --queue-cap=0, an unknown --arrival) fails before any
+  // sweep starts.
+  runner::ScenarioSpec lm_spec;
+  ApplyLoadModelFlags(*out, &lm_spec);
+  lm_spec.concurrency = out->concurrency;
+  lm_spec.seed = out->seed;
+  return cc::ValidateLoadModelParams(lm_spec.load_model,
+                                     lm_spec.MakeLoadModelParams());
 }
 
 BenchFlags ParseBenchFlagsOrExit(int argc, const char* const* argv,

@@ -11,6 +11,11 @@
 //   --duration-ms=N       simulated measurement window
 //   --theta=F             Zipf skew for workloads that take one
 //   --seed=N              base RNG seed
+//   --load-model=NAME     closed | open | batched (see cc/load_model.h)
+//   --offered-tps=F       open loop: cluster-wide offered load, txns/sec
+//   --arrival=NAME        open loop: poisson | uniform interarrivals
+//   --queue-cap=N         open loop: per-engine admission queue bound
+//   --batch-size=N        batched: transactions admitted per engine batch
 //   --jobs=N              sweep worker threads (0 = all hardware threads)
 //   --mem-budget-mb=N     cap summed footprint of concurrently-loaded
 //                         scenarios (0 = unlimited)
@@ -28,10 +33,13 @@
 #define CHILLER_BENCH_BENCH_FLAGS_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "runner/scenario.h"
 
 namespace chiller::bench {
 
@@ -44,6 +52,14 @@ struct BenchFlags {
   double duration_ms = 15.0;
   double theta = 0.99;
   uint64_t seed = 1;
+  /// Load model for every scenario the bench sweeps (default: the paper's
+  /// closed loop, which preserves all historical numbers). See
+  /// ApplyLoadModelFlags for how these land on a ScenarioSpec.
+  std::string load_model = "closed";
+  double offered_tps = 0.0;       ///< open loop: cluster-wide offered load
+  std::string arrival = "poisson";  ///< open loop: poisson | uniform
+  uint32_t queue_cap = 64;        ///< open loop: admission queue per engine
+  uint32_t batch_size = 8;        ///< batched: admissions per engine batch
   /// Sweep worker threads; 0 = one per hardware thread. Results are
   /// byte-identical for every value (see runner::SweepExecutor).
   uint32_t jobs = 1;
@@ -65,6 +81,40 @@ struct BenchFlags {
     return json_path.empty() ? "BENCH_" + bench_name + ".json" : json_path;
   }
 };
+
+/// Copies the shared load-model flags onto one scenario spec. Benches call
+/// this per grid point so any sweep can be re-run under open-loop or
+/// batched admission without touching the bench; the "closed" default
+/// leaves historical runs byte-identical.
+inline void ApplyLoadModelFlags(const BenchFlags& flags,
+                                runner::ScenarioSpec* spec) {
+  spec->load_model = flags.load_model;
+  spec->offered_tps = flags.offered_tps;
+  spec->arrival = flags.arrival;
+  spec->queue_cap = flags.queue_cap;
+  spec->batch_size = flags.batch_size;
+}
+
+/// Guard for benches that never drive transactions through a load model
+/// (pure layout/metric analysis): refuses non-default load-model flags
+/// instead of silently ignoring them.
+inline void RejectLoadModelFlags(const BenchFlags& flags,
+                                 const std::string& bench_name) {
+  const BenchFlags defaults;
+  if (flags.load_model == defaults.load_model &&
+      flags.offered_tps == defaults.offered_tps &&
+      flags.arrival == defaults.arrival &&
+      flags.queue_cap == defaults.queue_cap &&
+      flags.batch_size == defaults.batch_size) {
+    return;
+  }
+  std::fprintf(stderr,
+               "%s: this bench does not drive transactions through a load "
+               "model; --load-model / --offered-tps / --arrival / "
+               "--queue-cap / --batch-size have no effect here\n",
+               bench_name.c_str());
+  std::exit(1);
+}
 
 /// Usage text for `bench_name`, listing every flag and its default.
 /// `defaults` must be the same bench-specific defaults passed to parsing,

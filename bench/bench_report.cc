@@ -23,6 +23,21 @@ Json ResultRow(const std::string& protocol, Json params,
   row["latency_p99_ns"] = latency.count() == 0 ? 0 : latency.Percentile(99);
   row["latency_mean_ns"] = latency.count() == 0 ? 0.0 : latency.Mean();
 
+  // Open-loop accounting: emitted whenever the run was driven through an
+  // admission queue — keyed off the load model, not the counters, so every
+  // row of an open-loop sweep has the same schema even if a window saw no
+  // arrivals — and never for closed-loop reports (every committed
+  // BENCH_*.json predating the load-model API keeps its exact shape).
+  if (stats.open_loop) {
+    const Histogram& q = stats.queue_delay;
+    row["admitted"] = stats.admitted;
+    row["shed"] = stats.shed;
+    row["shed_rate"] = stats.ShedRate();
+    row["queue_delay_p50_ns"] = q.count() == 0 ? 0 : q.Percentile(50);
+    row["queue_delay_p99_ns"] = q.count() == 0 ? 0 : q.Percentile(99);
+    row["queue_delay_mean_ns"] = q.count() == 0 ? 0.0 : q.Mean();
+  }
+
   Json per_class = Json::MakeObject();
   for (const auto& cls : stats.classes) {
     if (cls.name.empty() && cls.attempts() == 0) continue;

@@ -19,6 +19,10 @@
 //       }, ...
 //     ]
 //   }
+//
+// Runs driven by an open load model (see cc/load_model.h) additionally
+// carry "admitted", "shed", "shed_rate", and "queue_delay_{p50,p99,mean}_ns"
+// per row; closed-loop rows omit them so historical reports stay stable.
 #ifndef CHILLER_BENCH_BENCH_REPORT_H_
 #define CHILLER_BENCH_BENCH_REPORT_H_
 

@@ -53,6 +53,7 @@ void Main(const BenchFlags& flags) {
       spec.seed = flags.seed + static_cast<uint64_t>(pct);
       spec.warmup = static_cast<SimTime>(flags.warmup_ms * kMillisecond);
       spec.measure = static_cast<SimTime>(flags.duration_ms * kMillisecond);
+      ApplyLoadModelFlags(flags, &spec);
       spec.options.Set("pct_new_order", 50);
       spec.options.Set("pct_payment", 50);
       spec.options.Set("pct_order_status", 0);

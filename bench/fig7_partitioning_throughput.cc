@@ -51,6 +51,7 @@ void Main(const BenchFlags& flags) {
       spec.seed = flags.seed + k;
       spec.warmup = static_cast<SimTime>(flags.warmup_ms * kMillisecond);
       spec.measure = static_cast<SimTime>(flags.duration_ms * kMillisecond);
+      ApplyLoadModelFlags(flags, &spec);
       spec.options.Set("num_products", 20000);
       spec.options.Set("num_customers", 50000);
       spec.options.Set("tail_theta", flags.theta);

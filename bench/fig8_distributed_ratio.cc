@@ -28,6 +28,7 @@ struct KPoint {
 };
 
 void Main(const BenchFlags& flags) {
+  RejectLoadModelFlags(flags, "fig8");
   std::printf(
       "Figure 8 — ratio of distributed transactions vs partitions\n"
       "paper shape: Schism < Chiller < Hashing; gap narrows with more\n"

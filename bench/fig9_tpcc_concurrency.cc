@@ -62,6 +62,7 @@ void Main(const BenchFlags& flags) {
       spec.seed = flags.seed + c;
       spec.warmup = static_cast<SimTime>(flags.warmup_ms * kMillisecond);
       spec.measure = static_cast<SimTime>(flags.duration_ms * kMillisecond);
+      ApplyLoadModelFlags(flags, &spec);
       specs.push_back(std::move(spec));
     }
   }

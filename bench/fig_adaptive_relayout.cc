@@ -59,6 +59,7 @@ void Main(const BenchFlags& flags) {
     spec.engines_per_node = flags.engines;
     spec.concurrency = flags.concurrency;
     spec.seed = flags.seed;
+    ApplyLoadModelFlags(flags, &spec);
     spec.options.Set("theta", flags.theta);
     spec.options.Set("keys_per_partition", 10000);
     return spec;

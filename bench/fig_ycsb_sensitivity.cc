@@ -49,6 +49,7 @@ void Main(const BenchFlags& flags) {
         spec.seed = flags.seed;
         spec.warmup = static_cast<SimTime>(flags.warmup_ms * kMillisecond);
         spec.measure = static_cast<SimTime>(flags.duration_ms * kMillisecond);
+        ApplyLoadModelFlags(flags, &spec);
         spec.options.Set("theta", theta);
         spec.options.Set("distributed_ratio", dr);
         spec.footprint_hint = runner::EstimateFootprint(spec);

@@ -24,6 +24,7 @@ namespace {
 namespace instacart = workload::instacart;
 
 void Main(const BenchFlags& flags) {
+  RejectLoadModelFlags(flags, "tab_lookup_and_cost");
   std::printf(
       "Sections 4.4 / 7.2.2 — lookup-table size, graph size, and\n"
       "partitioning cost: Schism vs Chiller on the Instacart-like "

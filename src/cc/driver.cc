@@ -1,28 +1,38 @@
 #include "cc/driver.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "cc/exec_common.h"
+#include "cc/load_model.h"
 #include "common/logging.h"
 
 namespace chiller::cc {
 
 Driver::Driver(Cluster* cluster, Protocol* protocol, WorkloadSource* source,
                uint32_t concurrent_per_engine, uint64_t seed)
+    : Driver(cluster, protocol, source,
+             std::make_unique<ClosedLoop>(concurrent_per_engine), seed) {}
+
+Driver::Driver(Cluster* cluster, Protocol* protocol, WorkloadSource* source,
+               std::unique_ptr<LoadModel> model, uint64_t seed)
     : cluster_(cluster),
       protocol_(protocol),
       source_(source),
-      concurrent_(concurrent_per_engine),
+      model_(std::move(model)),
       rng_(seed) {
-  CHILLER_CHECK(concurrent_ >= 1);
+  CHILLER_CHECK(model_ != nullptr);
   for (uint32_t c = 0; c < source_->NumClasses(); ++c) {
     stats_.EnsureClass(c, source_->ClassName(c));
   }
+  model_->Bind(this);
+  stats_.open_loop = model_->UsesAdmissionQueue();
 }
 
-void Driver::StartSlot(EngineId e) {
+Driver::~Driver() = default;
+
+void Driver::LaunchFresh(EngineId e, SimTime admission_delay) {
   std::shared_ptr<txn::Transaction> t = source_->Next(e, &rng_);
+  t->admission_delay = admission_delay;
   Launch(e, std::move(t));
 }
 
@@ -33,6 +43,26 @@ void Driver::Launch(EngineId e, std::shared_ptr<txn::Transaction> t) {
   t->start_time = cluster_->sim()->now();
   if (t->accesses.empty()) t->InitAccesses();
   protocol_->Execute(t, [this, e, t]() { OnDone(e, t); });
+}
+
+std::shared_ptr<txn::Transaction> Driver::RebuildForRetry(
+    const txn::Transaction& t) {
+  std::shared_ptr<txn::Transaction> retry = source_->Rebuild(t);
+  retry->attempt = t.attempt + 1;
+  retry->admission_delay = t.admission_delay;
+  return retry;
+}
+
+void Driver::NoteAdmitted() {
+  if (measuring_) ++stats_.admitted;
+}
+
+void Driver::NoteShed() {
+  if (measuring_) ++stats_.shed;
+}
+
+void Driver::NoteQueueDelay(SimTime delay) {
+  if (measuring_) stats_.queue_delay.Add(delay);
 }
 
 void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
@@ -58,23 +88,7 @@ void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
   }
 
   if (stopped_) return;
-  if (t->outcome == txn::Outcome::kAbortConflict) {
-    // Retry the same logical transaction after a jittered backoff that
-    // grows with consecutive aborts (NO_WAIT livelock avoidance without
-    // letting retries saturate a contended record).
-    const ExecCosts& costs = cluster_->costs();
-    const uint32_t shift = std::min<uint32_t>(t->attempt, 5);
-    const SimTime backoff =
-        (costs.retry_backoff_fixed << shift) +
-        rng_.Uniform(costs.retry_backoff_jitter << shift);
-    std::shared_ptr<txn::Transaction> retry = source_->Rebuild(*t);
-    retry->attempt = t->attempt + 1;
-    cluster_->sim()->Schedule(backoff, [this, e, retry]() {
-      Launch(e, retry);
-    });
-    return;
-  }
-  StartSlot(e);
+  model_->OnSlotFree(e, *t);
 }
 
 void Driver::Start() {
@@ -82,7 +96,7 @@ void Driver::Start() {
   if (started_) return;
   started_ = true;
   for (EngineId e = 0; e < cluster_->num_engines(); ++e) {
-    for (uint32_t s = 0; s < concurrent_; ++s) StartSlot(e);
+    model_->StartEngine(e);
   }
 }
 
@@ -97,9 +111,12 @@ void Driver::Quiesce() {
 
 void Driver::Resume() {
   CHILLER_CHECK(started_) << "Resume without Start";
+  // Resuming a live driver would double-arm open-loop arrival clocks and
+  // reset slot accounting under in-flight transactions.
+  CHILLER_CHECK(stopped_) << "Resume without Quiesce";
   stopped_ = false;
   for (EngineId e = 0; e < cluster_->num_engines(); ++e) {
-    for (uint32_t s = 0; s < concurrent_; ++s) StartSlot(e);
+    model_->StartEngine(e);
   }
 }
 
@@ -113,9 +130,10 @@ void Driver::ResetStats() {
     fresh.name = cs.name;
     cs = std::move(fresh);
   }
+  stats_.admitted = 0;
+  stats_.shed = 0;
+  stats_.queue_delay.Reset();
 }
-
-void Driver::DrainAndStop() { Quiesce(); }
 
 RunStats Driver::Run(SimTime warmup, SimTime measure) {
   Start();

@@ -1,4 +1,5 @@
-// Closed-loop workload driver: transaction slots, retries, measurement.
+// Workload driver: transaction slots, retries, measurement, with the load
+// model (closed loop, open loop, batched) injected as policy.
 #ifndef CHILLER_CC_DRIVER_H_
 #define CHILLER_CC_DRIVER_H_
 
@@ -10,6 +11,8 @@
 #include "txn/transaction.h"
 
 namespace chiller::cc {
+
+class LoadModel;
 
 /// Supplies transactions for the driver. Implementations live in
 /// src/workload (TPC-C, Instacart-like, flight booking).
@@ -30,16 +33,18 @@ class WorkloadSource {
   virtual std::string ClassName(uint32_t cls) const = 0;
 };
 
-/// Drives a protocol on a cluster, closed-loop: each engine keeps
-/// `concurrent_per_engine` transactions open at all times (the paper's
-/// "# concurrent txns per warehouse" knob, Figure 9). Conflict-aborted
-/// transactions retry with a small jittered backoff; committed and
-/// user-aborted slots draw a fresh transaction.
+/// Drives a protocol on a cluster. The *mechanics* of an attempt — ids,
+/// timestamps, protocol dispatch, stats, the commit observer — live here;
+/// the *load model* (when work arrives, how slots refill, what a freed slot
+/// does) is an injected LoadModel policy (see cc/load_model.h). The default
+/// model is the paper's closed loop: each engine keeps
+/// `concurrent_per_engine` transactions open at all times (the "# concurrent
+/// txns per warehouse" knob, Figure 9).
 ///
-/// The closed loop is exposed as phase primitives (Start / Advance /
-/// Quiesce / Resume, plus the measurement toggles) so a caller can compose
-/// arbitrary phase plans — warmup, live stats sampling, a quiesced layout
-/// migration, measurement — on one driver. Run() is the classic two-phase
+/// Execution is exposed as phase primitives (Start / Advance / Quiesce /
+/// Resume, plus the measurement toggles) so a caller can compose arbitrary
+/// phase plans — warmup, live stats sampling, a quiesced layout migration,
+/// measurement — on one driver. Run() is the classic two-phase
 /// warmup+measure composition of those primitives.
 class Driver {
  public:
@@ -48,34 +53,48 @@ class Driver {
   /// sampling StatsCollector here during sample phases.
   using CommitObserver = std::function<void(const txn::Transaction&)>;
 
+  /// Classic closed-loop driver (equivalent to injecting
+  /// ClosedLoop{concurrent_per_engine}).
   Driver(Cluster* cluster, Protocol* protocol, WorkloadSource* source,
          uint32_t concurrent_per_engine, uint64_t seed = 1);
+
+  /// Driver with an explicit load model.
+  Driver(Cluster* cluster, Protocol* protocol, WorkloadSource* source,
+         std::unique_ptr<LoadModel> model, uint64_t seed = 1);
+
+  ~Driver();
 
   /// Runs `warmup` of simulated time, resets counters, then measures for
   /// `measure`. Returns the stats of the measurement window.
   RunStats Run(SimTime warmup, SimTime measure);
 
-  /// Fills every engine's transaction slots. Idempotent: only the first
-  /// call launches anything.
+  /// Arms the load model on every engine (filling slots / starting arrival
+  /// clocks). Idempotent: only the first call launches anything.
   void Start();
 
   /// Advances the simulator `duration` ns past its current time, with the
-  /// closed loop refilling slots throughout (one phase of a phase plan).
+  /// load model feeding the engines throughout (one phase of a phase plan).
   void Advance(SimTime duration);
 
-  /// Stops refilling slots and drains every in-flight transaction (all
-  /// locks released, replication quiesced); simulated time advances to the
-  /// last settling event. The cluster is then safe to mutate structurally
-  /// (e.g. record migration). Resume() restarts the closed loop.
+  /// Stops the load model (no refills, no new arrivals) and drains every
+  /// in-flight transaction (all locks released, replication quiesced);
+  /// simulated time advances to the last settling event — for an open-loop
+  /// model that includes each engine's one already-scheduled (and
+  /// discarded) arrival, up to about one interarrival gap. The cluster is
+  /// then safe to mutate structurally (e.g. record migration). Resume()
+  /// re-arms the load model.
   void Quiesce();
 
-  /// Refills every slot after a Quiesce() and re-arms the closed loop.
+  /// Re-arms the load model on every engine after a Quiesce(). Open-loop
+  /// requests that were already admitted to a queue launch first.
   void Resume();
 
   /// Installs (or, with nullptr, removes) the commit observer.
   void SetCommitObserver(CommitObserver observer);
 
-  /// Clears the per-class counters, keeping class names (end of warmup).
+  /// Clears the per-class counters and the load-model accounting
+  /// (admissions, sheds, queueing delay), keeping class names (end of
+  /// warmup).
   void ResetStats();
 
   /// Toggles whether finished transactions are counted into stats().
@@ -84,21 +103,55 @@ class Driver {
   /// Records the total measured window length into stats().
   void set_measured_window(SimTime window) { stats_.window = window; }
 
-  /// Alias of Quiesce() for the classic Run() call sites: integration
-  /// tests call this before checking storage invariants.
-  void DrainAndStop();
+  /// Exact synonym of Quiesce(), kept for the classic Run() call sites
+  /// (integration tests call this before checking storage invariants).
+  /// There is deliberately no second drain path: this delegates.
+  void DrainAndStop() { Quiesce(); }
 
   const RunStats& stats() const { return stats_; }
 
- private:
-  void StartSlot(EngineId e);
+  /// The injected policy (never null).
+  const LoadModel& load_model() const { return *model_; }
+
+  // --- Load-model surface -------------------------------------------------
+  // Called by LoadModel implementations; not meant for other callers.
+
+  Cluster* cluster() { return cluster_; }
+  /// The workload RNG (transaction parameters, retry jitter).
+  Rng* rng() { return &rng_; }
+  /// True between Quiesce() and Resume(): models must stop producing work.
+  bool quiesced() const { return stopped_; }
+
+  /// Draws a fresh transaction for engine `e` from the workload source and
+  /// executes it now. `admission_delay` is how long the request waited in
+  /// an admission queue (0 for immediate admission); it rides along on
+  /// retries of the same logical transaction.
+  void LaunchFresh(EngineId e, SimTime admission_delay = 0);
+
+  /// Executes transaction `t` on engine `e` now (retry callbacks land
+  /// here; Quiesce() lets already-scheduled retries run to completion).
   void Launch(EngineId e, std::shared_ptr<txn::Transaction> t);
+
+  /// Rebuilds `t` for its next attempt (same logical transaction,
+  /// attempt + 1, admission delay carried over).
+  std::shared_ptr<txn::Transaction> RebuildForRetry(const txn::Transaction& t);
+
+  /// Open-loop accounting, counted only while measuring: an arrival was
+  /// admitted (launched or queued) / shed at a full queue / a finished
+  /// request's admission-queue wait (committed or user-aborted — the wait
+  /// is a property of admission, not of outcome).
+  void NoteAdmitted();
+  void NoteShed();
+  void NoteQueueDelay(SimTime delay);
+  // ------------------------------------------------------------------------
+
+ private:
   void OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t);
 
   Cluster* cluster_;
   Protocol* protocol_;
   WorkloadSource* source_;
-  uint32_t concurrent_;
+  std::unique_ptr<LoadModel> model_;
   Rng rng_;
   RunStats stats_;
   CommitObserver observer_;

@@ -1,0 +1,231 @@
+#include "cc/load_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "cc/cluster.h"
+#include "common/logging.h"
+
+namespace chiller::cc {
+
+void LoadModel::RetryAfterBackoff(EngineId e, const txn::Transaction& t) {
+  Driver* d = driver_;
+  const ExecCosts& costs = d->cluster()->costs();
+  const uint32_t shift = std::min<uint32_t>(t.attempt, 5);
+  const SimTime backoff =
+      (costs.retry_backoff_fixed << shift) +
+      d->rng()->Uniform(costs.retry_backoff_jitter << shift);
+  std::shared_ptr<txn::Transaction> retry = d->RebuildForRetry(t);
+  d->cluster()->sim()->Schedule(backoff, [d, e, retry]() {
+    d->Launch(e, retry);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// ClosedLoop
+// ---------------------------------------------------------------------------
+
+ClosedLoop::ClosedLoop(uint32_t slots_per_engine) : slots_(slots_per_engine) {
+  CHILLER_CHECK(slots_ >= 1);
+}
+
+void ClosedLoop::StartEngine(EngineId e) {
+  for (uint32_t s = 0; s < slots_; ++s) driver_->LaunchFresh(e);
+}
+
+void ClosedLoop::OnSlotFree(EngineId e, const txn::Transaction& t) {
+  if (t.outcome == txn::Outcome::kAbortConflict) {
+    RetryAfterBackoff(e, t);
+    return;
+  }
+  driver_->LaunchFresh(e);
+}
+
+// ---------------------------------------------------------------------------
+// OpenLoop
+// ---------------------------------------------------------------------------
+
+OpenLoop::OpenLoop(OpenLoopOptions options) : opts_(std::move(options)) {
+  CHILLER_CHECK(opts_.offered_tps > 0.0);
+  CHILLER_CHECK(opts_.slots_per_engine >= 1);
+  CHILLER_CHECK(opts_.queue_cap >= 1);
+  CHILLER_CHECK(opts_.arrival == "poisson" || opts_.arrival == "uniform")
+      << "unknown arrival process '" << opts_.arrival << "'";
+}
+
+void OpenLoop::StartEngine(EngineId e) {
+  if (engines_.empty()) {
+    engines_.resize(driver_->cluster()->num_engines());
+    // The per-engine arrival rate: the cluster-wide offered load split
+    // evenly. Computed once so every engine paces identically.
+    const double per_engine_tps =
+        opts_.offered_tps / static_cast<double>(engines_.size());
+    mean_interarrival_ = std::max<SimTime>(
+        1, static_cast<SimTime>(
+               std::llround(static_cast<double>(kSecond) / per_engine_tps)));
+  }
+  EngineState& s = engines_[e];
+  if (!s.initialized) {
+    s.initialized = true;
+    // SplitMix64-style stream split keeps engine clocks decorrelated while
+    // staying a pure function of (seed, engine).
+    s.arrivals.Seed(opts_.seed + 0x9e3779b97f4a7c15ULL * (e + 1));
+    s.free_slots = opts_.slots_per_engine;
+  }
+  // After a quiesce every in-flight transaction has settled, so all slots
+  // are free again; requests that were already admitted to the queue keep
+  // their place (and their admission timestamps) and launch first.
+  s.free_slots = opts_.slots_per_engine;
+  while (s.free_slots > 0 && !s.queue.empty()) AdmitFromQueue(e);
+  ScheduleNextArrival(e);
+}
+
+void OpenLoop::ScheduleNextArrival(EngineId e) {
+  EngineState& s = engines_[e];
+  const double u = s.arrivals.NextDouble();
+  SimTime gap;
+  if (opts_.arrival == "poisson") {
+    // Exponential interarrival; clamp the (measure-zero) u == 0 draw.
+    const double x = -std::log(std::max(u, 1e-300));
+    gap = static_cast<SimTime>(
+        std::llround(x * static_cast<double>(mean_interarrival_)));
+  } else {
+    // Uniform in [0, 2*mean): same offered rate, bounded burstiness.
+    gap = static_cast<SimTime>(
+        std::llround(u * 2.0 * static_cast<double>(mean_interarrival_)));
+  }
+  driver_->cluster()->sim()->Schedule(std::max<SimTime>(gap, 1),
+                                      [this, e]() { Arrive(e); });
+}
+
+void OpenLoop::Arrive(EngineId e) {
+  // A quiesce drains the event queue, which fires pending arrivals early;
+  // discard them and leave the clock disarmed — Resume() restarts it.
+  if (driver_->quiesced()) return;
+  EngineState& s = engines_[e];
+  if (s.free_slots > 0) {
+    --s.free_slots;
+    driver_->NoteAdmitted();
+    driver_->LaunchFresh(e, /*admission_delay=*/0);
+  } else if (s.queue.size() < opts_.queue_cap) {
+    driver_->NoteAdmitted();
+    s.queue.push_back(driver_->cluster()->sim()->now());
+  } else {
+    driver_->NoteShed();
+  }
+  ScheduleNextArrival(e);
+}
+
+void OpenLoop::AdmitFromQueue(EngineId e) {
+  EngineState& s = engines_[e];
+  const SimTime waited = driver_->cluster()->sim()->now() - s.queue.front();
+  s.queue.pop_front();
+  --s.free_slots;
+  driver_->LaunchFresh(e, waited);
+}
+
+void OpenLoop::OnSlotFree(EngineId e, const txn::Transaction& t) {
+  if (t.outcome == txn::Outcome::kAbortConflict) {
+    // The retried request keeps its slot: admitted work finishes before
+    // queued work starts, so a conflict storm lengthens the queue instead
+    // of multiplying the in-flight population.
+    RetryAfterBackoff(e, t);
+    return;
+  }
+  driver_->NoteQueueDelay(t.admission_delay);
+  EngineState& s = engines_[e];
+  ++s.free_slots;
+  if (!s.queue.empty()) AdmitFromQueue(e);
+}
+
+// ---------------------------------------------------------------------------
+// Batched
+// ---------------------------------------------------------------------------
+
+Batched::Batched(uint32_t batch_size) : batch_(batch_size) {
+  CHILLER_CHECK(batch_ >= 1);
+}
+
+void Batched::StartEngine(EngineId e) {
+  if (engines_.empty()) engines_.resize(driver_->cluster()->num_engines());
+  engines_[e].outstanding = 0;
+  LaunchBatch(e);
+}
+
+void Batched::LaunchBatch(EngineId e) {
+  EngineState& s = engines_[e];
+  s.outstanding = batch_;
+  for (uint32_t i = 0; i < batch_; ++i) driver_->LaunchFresh(e);
+}
+
+void Batched::OnSlotFree(EngineId e, const txn::Transaction& t) {
+  if (t.outcome == txn::Outcome::kAbortConflict) {
+    RetryAfterBackoff(e, t);  // the retry stays a member of its batch
+    return;
+  }
+  EngineState& s = engines_[e];
+  CHILLER_DCHECK(s.outstanding > 0);
+  if (--s.outstanding == 0) LaunchBatch(e);
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+Status ValidateLoadModelParams(const std::string& name,
+                               const LoadModelParams& params) {
+  if (params.slots_per_engine == 0) {
+    return Status::InvalidArgument("load model needs slots_per_engine >= 1");
+  }
+  if (name == "closed") return Status::OK();
+  if (name == "open") {
+    if (params.offered_tps <= 0.0) {
+      return Status::InvalidArgument(
+          "open load model needs offered_tps > 0 (cluster-wide offered "
+          "load, txns/sec)");
+    }
+    if (params.queue_cap == 0) {
+      return Status::InvalidArgument(
+          "open load model needs queue_cap >= 1 (bounded admission queue)");
+    }
+    if (params.arrival != "poisson" && params.arrival != "uniform") {
+      return Status::InvalidArgument("unknown arrival process '" +
+                                     params.arrival +
+                                     "' (known: poisson, uniform)");
+    }
+    return Status::OK();
+  }
+  if (name == "batched") {
+    if (params.batch_size == 0) {
+      return Status::InvalidArgument(
+          "batched load model needs batch_size >= 1");
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown load model '" + name +
+                                 "' (known: closed, open, batched)");
+}
+
+StatusOr<std::unique_ptr<LoadModel>> MakeLoadModel(
+    const std::string& name, const LoadModelParams& params) {
+  Status st = ValidateLoadModelParams(name, params);
+  if (!st.ok()) return st;
+  if (name == "closed") {
+    return std::unique_ptr<LoadModel>(
+        std::make_unique<ClosedLoop>(params.slots_per_engine));
+  }
+  if (name == "open") {
+    OpenLoopOptions o;
+    o.offered_tps = params.offered_tps;
+    o.arrival = params.arrival;
+    o.slots_per_engine = params.slots_per_engine;
+    o.queue_cap = params.queue_cap;
+    o.seed = params.seed;
+    return std::unique_ptr<LoadModel>(std::make_unique<OpenLoop>(o));
+  }
+  return std::unique_ptr<LoadModel>(
+      std::make_unique<Batched>(params.batch_size));
+}
+
+}  // namespace chiller::cc

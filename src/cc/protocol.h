@@ -40,6 +40,29 @@ struct RunStats {
   std::vector<ClassStats> classes;
   SimTime window = 0;  ///< measurement window length, ns
 
+  // Open-loop load-model accounting (see cc/load_model.h). All zero under
+  // the closed-loop and batched models, which have no admission queue.
+  /// True when the run was driven through an admission queue (the driver
+  /// marks it from LoadModel::UsesAdmissionQueue); reports key the queue
+  /// fields off this, not off the counters, so a window with no arrivals
+  /// still carries them.
+  bool open_loop = false;
+  uint64_t admitted = 0;  ///< arrivals accepted (launched or queued)
+  uint64_t shed = 0;      ///< arrivals dropped at a full admission queue
+  /// Admission-queue wait of finished requests (committed or user-aborted;
+  /// a conflict retry is still the same waiting request), ns — the
+  /// queueing component of end-to-end latency, kept separate from the
+  /// execution latency in ClassStats::latency.
+  Histogram queue_delay;
+
+  /// Fraction of offered arrivals dropped at the admission queue.
+  double ShedRate() const {
+    const uint64_t offered = admitted + shed;
+    return offered == 0 ? 0.0
+                        : static_cast<double>(shed) /
+                              static_cast<double>(offered);
+  }
+
   void EnsureClass(uint32_t cls, const std::string& name) {
     if (classes.size() <= cls) classes.resize(cls + 1);
     if (classes[cls].name.empty()) classes[cls].name = name;

@@ -4,10 +4,12 @@
 #include <memory>
 #include <utility>
 
+#include "cc/load_model.h"
 #include "cc/migration.h"
 #include "net/topology.h"
 #include "partition/chiller_partitioner.h"
 #include "partition/stats_collector.h"
+#include "runner/sweep.h"
 
 namespace chiller::runner {
 
@@ -82,6 +84,11 @@ Status ScenarioRunner::Validate(const ScenarioSpec& spec) {
   if (spec.concurrency == 0) {
     return Status::InvalidArgument("concurrency must be >= 1");
   }
+  // One source of truth for load-model validity (also what Wire() builds
+  // with), run here so a bad spec fails before any data is loaded.
+  Status lm_st = cc::ValidateLoadModelParams(spec.load_model,
+                                             spec.MakeLoadModelParams());
+  if (!lm_st.ok()) return lm_st;
   if (spec.phases.empty()) {
     if (spec.measure == 0) {
       return Status::InvalidArgument("measurement window must be > 0");
@@ -116,19 +123,27 @@ StatusOr<ScenarioEnv> ScenarioRunner::Wire(const ScenarioSpec& spec) {
   if (!protocol.ok()) return protocol.status();
   env.protocol = std::move(protocol).value();
 
+  auto model =
+      cc::MakeLoadModel(spec.load_model, spec.MakeLoadModelParams());
+  if (!model.ok()) return model.status();
+
   env.driver = std::make_unique<cc::Driver>(
       env.cluster.get(), env.protocol.get(), env.bundle->source(),
-      spec.concurrency, spec.seed);
+      std::move(model).value(), spec.seed);
   return env;
 }
 
 StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
   const auto wall_start = std::chrono::steady_clock::now();
+  const uint64_t rss_before = CurrentRssBytes();
   auto env = Wire(spec);
   if (!env.ok()) return env.status();
+  const uint64_t rss_after = CurrentRssBytes();
 
   ScenarioResult result;
   result.spec = spec;
+  result.loaded_rss_delta =
+      rss_after > rss_before ? rss_after - rss_before : 0;
 
   cc::Driver* driver = env->driver.get();
   const std::vector<Phase> plan = spec.EffectivePhases();

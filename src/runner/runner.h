@@ -30,9 +30,10 @@ struct ScenarioEnv {
 class ScenarioRunner {
  public:
   /// Structural checks that need no registry lookup (positive topology,
-  /// positive concurrency, and a well-formed phase plan: timed phases have
-  /// positive durations, sampling precedes replanning, and every replan is
-  /// immediately migrated).
+  /// positive concurrency, a known load model with sane knobs — open needs
+  /// offered_tps > 0 and queue_cap >= 1 — and a well-formed phase plan:
+  /// timed phases have positive durations, sampling precedes replanning,
+  /// and every replan is immediately migrated).
   static Status Validate(const ScenarioSpec& spec);
 
   /// Resolves the workload and protocol from the global registries, builds

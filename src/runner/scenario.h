@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/load_model.h"
 #include "cc/migration.h"
 #include "cc/protocol.h"
 #include "common/types.h"
@@ -75,8 +76,25 @@ struct ScenarioSpec {
   uint32_t engines_per_node = 1;
   uint32_t replication_degree = 2;
 
-  /// Open transactions per engine (the paper's Figure 9 knob).
+  /// Open transactions per engine (the paper's Figure 9 knob). Under the
+  /// open load model this is the per-engine service parallelism instead:
+  /// how many admitted transactions may execute concurrently.
   uint32_t concurrency = 4;
+
+  // Load model (see cc/load_model.h): how work is offered to the engines.
+  /// "closed" (default, the paper's closed loop), "open" (offered-load
+  /// arrivals + bounded admission queue), or "batched" (group admission).
+  std::string load_model = "closed";
+  /// open: cluster-wide offered load, txns per simulated second, split
+  /// evenly across engines. Required > 0 when load_model == "open".
+  double offered_tps = 0.0;
+  /// open: interarrival process, "poisson" or "uniform".
+  std::string arrival = "poisson";
+  /// open: bounded per-engine admission queue; arrivals beyond it are shed
+  /// (counted in RunStats::shed).
+  uint32_t queue_cap = 64;
+  /// batched: transactions admitted per engine batch.
+  uint32_t batch_size = 8;
 
   /// Base RNG seed: the whole scenario is a pure function of the spec.
   uint64_t seed = 1;
@@ -98,6 +116,19 @@ struct ScenarioSpec {
   uint64_t footprint_hint = 0;
 
   uint32_t partitions() const { return nodes * engines_per_node; }
+
+  /// The spec's load-model knobs in cc terms — the single conversion
+  /// behind validation (ScenarioRunner::Validate and bench flag parsing)
+  /// and model construction (ScenarioRunner::Wire), so the field mapping
+  /// cannot drift between them.
+  cc::LoadModelParams MakeLoadModelParams() const {
+    return {.slots_per_engine = concurrency,
+            .offered_tps = offered_tps,
+            .arrival = arrival,
+            .queue_cap = queue_cap,
+            .batch_size = batch_size,
+            .seed = seed};
+  }
 
   /// The plan Run() executes: `phases`, or the legacy two-phase shape.
   std::vector<Phase> EffectivePhases() const {
@@ -125,6 +156,11 @@ struct ScenarioResult {
   cc::RunStats stats;
   AdaptiveReport adaptive;
   double wall_ms = 0.0;
+  /// Process-RSS growth observed across wiring + loading this scenario's
+  /// cluster (bytes; 0 when the probe is unavailable). Sampled while the
+  /// data is resident — concurrent scenarios inflate each other's numbers,
+  /// so this calibrates footprint_hint estimates, it does not audit them.
+  uint64_t loaded_rss_delta = 0;
 };
 
 }  // namespace chiller::runner

@@ -1,8 +1,13 @@
 #include "runner/sweep.h"
 
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
 #include <optional>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 namespace chiller::runner {
 
@@ -45,6 +50,27 @@ std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
     const uint64_t hint = specs[i].footprint_hint;
     reserve(hint);
     StatusOr<ScenarioResult> result = ScenarioRunner::Run(specs[i]);
+    if (budget != 0 && result.ok()) {
+      // Estimate-vs-actual calibration log for the budget gate. The delta
+      // was sampled inside ScenarioRunner::Run across wiring + loading,
+      // while the cluster was resident (here it is already torn down).
+      // Whole-process RSS still over-counts under concurrency, so this is
+      // a sanity bound, not a per-scenario audit — and it never affects
+      // scheduling.
+      constexpr double kMb = 1024.0 * 1024.0;
+      if (result->loaded_rss_delta == 0) {
+        std::fprintf(stderr,
+                     "  [sweep] scenario %zu: footprint hint %.1f MB "
+                     "(RSS probe unavailable or no growth observed)\n",
+                     i, static_cast<double>(hint) / kMb);
+      } else {
+        std::fprintf(stderr,
+                     "  [sweep] scenario %zu: footprint hint %.1f MB, "
+                     "loaded RSS delta %.1f MB\n",
+                     i, static_cast<double>(hint) / kMb,
+                     static_cast<double>(result->loaded_rss_delta) / kMb);
+      }
+    }
     release(hint);
     if (progress) {
       std::lock_guard<std::mutex> lock(progress_mu);
@@ -96,6 +122,24 @@ uint64_t EstimateFootprint(const ScenarioSpec& spec) {
     return 0;  // unknown workload: never gate on a guess
   }
   return copies * records * (bytes_per_record + kPerRecordOverhead);
+}
+
+uint64_t CurrentRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int parsed = std::fscanf(f, "%llu %llu", &total_pages,
+                                 &resident_pages);
+  std::fclose(f);
+  if (parsed != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<uint64_t>(resident_pages) * static_cast<uint64_t>(page);
+#else
+  return 0;
+#endif
 }
 
 }  // namespace chiller::runner

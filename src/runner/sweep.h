@@ -98,6 +98,14 @@ class SweepExecutor {
 /// audit. Returns 0 (unknown) for unrecognized workload keys.
 uint64_t EstimateFootprint(const ScenarioSpec& spec);
 
+/// This process's current resident set in bytes, read from
+/// /proc/self/statm. Returns 0 where the probe is unavailable (non-Linux
+/// builds, restricted /proc). SweepExecutor logs it next to each scenario's
+/// footprint hint when the memory-budget gate is active, so the static
+/// EstimateFootprint numbers can be sanity-checked against reality
+/// (log-only; never feeds back into gating).
+uint64_t CurrentRssBytes();
+
 }  // namespace chiller::runner
 
 #endif  // CHILLER_RUNNER_SWEEP_H_

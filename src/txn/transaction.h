@@ -75,6 +75,10 @@ class Transaction {
   uint32_t attempt = 0;
   SimTime start_time = 0;
   SimTime end_time = 0;
+  /// Open-loop load models: how long this request waited in the admission
+  /// queue before its first attempt launched (carried across retries). 0
+  /// under closed-loop and batched admission.
+  SimTime admission_delay = 0;
 
   /// Must be called once after `ops` is filled.
   void InitAccesses() { accesses.assign(ops.size(), Access{}); }

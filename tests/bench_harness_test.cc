@@ -107,10 +107,47 @@ TEST(BenchFlagsTest, UsageMentionsEveryFlag) {
   const std::string usage = UsageString("fig9");
   for (const char* flag :
        {"--protocol", "--nodes", "--engines", "--concurrency", "--warmup-ms",
-        "--duration-ms", "--theta", "--seed", "--jobs", "--json", "--no-json",
-        "--list-protocols", "--list-workloads", "--help"}) {
+        "--duration-ms", "--theta", "--seed", "--load-model", "--offered-tps",
+        "--arrival", "--queue-cap", "--batch-size", "--jobs", "--json",
+        "--no-json", "--list-protocols", "--list-workloads", "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
+}
+
+TEST(BenchFlagsTest, LoadModelFlagsParseAndApply) {
+  BenchFlags f;
+  ASSERT_TRUE(Parse({"--load-model=open", "--offered-tps=250000",
+                     "--arrival=uniform", "--queue-cap=16",
+                     "--batch-size=32"},
+                    &f)
+                  .ok());
+  EXPECT_EQ(f.load_model, "open");
+  EXPECT_DOUBLE_EQ(f.offered_tps, 250000.0);
+  EXPECT_EQ(f.arrival, "uniform");
+  EXPECT_EQ(f.queue_cap, 16u);
+  EXPECT_EQ(f.batch_size, 32u);
+
+  runner::ScenarioSpec spec;
+  ApplyLoadModelFlags(f, &spec);
+  EXPECT_EQ(spec.load_model, "open");
+  EXPECT_DOUBLE_EQ(spec.offered_tps, 250000.0);
+  EXPECT_EQ(spec.arrival, "uniform");
+  EXPECT_EQ(spec.queue_cap, 16u);
+  EXPECT_EQ(spec.batch_size, 32u);
+}
+
+TEST(BenchFlagsTest, LoadModelFlagsAreValidated) {
+  BenchFlags f;
+  EXPECT_TRUE(Parse({"--load-model=nope"}, &f).IsInvalidArgument());
+  f = BenchFlags{};
+  // Open without an offered rate is caught at parse time, not per scenario.
+  EXPECT_TRUE(Parse({"--load-model=open"}, &f).IsInvalidArgument());
+  f = BenchFlags{};
+  EXPECT_TRUE(Parse({"--offered-tps=banana"}, &f).IsInvalidArgument());
+  // The default closed model never needs an offered rate.
+  f = BenchFlags{};
+  EXPECT_TRUE(Parse({}, &f).ok());
+  EXPECT_EQ(f.load_model, "closed");
 }
 
 TEST(BenchFlagsTest, UsageListsRegisteredProtocols) {
@@ -234,6 +271,42 @@ TEST(BenchReportTest, EmittedJsonParsesAndHasRequiredKeys) {
   EXPECT_GE(row.Get("latency_p99_ns")->AsDouble(),
             row.Get("latency_p50_ns")->AsDouble());
   std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, QueueFieldsAppearOnlyForOpenLoopRuns) {
+  // A closed-loop run never offers load through an admission queue, and
+  // its row must keep the historical shape (committed BENCH_*.json files
+  // are diffed byte-for-byte).
+  const cc::RunStats closed = SmallTpccRun("chiller");
+  const Json closed_row = ResultRow("chiller", Json::MakeObject(), closed);
+  for (const char* key : {"admitted", "shed", "shed_rate",
+                          "queue_delay_p50_ns", "queue_delay_p99_ns",
+                          "queue_delay_mean_ns"}) {
+    EXPECT_FALSE(closed_row.Has(key)) << key;
+  }
+
+  // Emission keys off the load model, not the counters: an open-loop row
+  // keeps the queue fields even when its window saw no arrivals.
+  cc::RunStats quiet = closed;
+  quiet.open_loop = true;
+  const Json quiet_row = ResultRow("chiller", Json::MakeObject(), quiet);
+  EXPECT_TRUE(quiet_row.Has("admitted"));
+  EXPECT_TRUE(quiet_row.Has("queue_delay_p99_ns"));
+
+  cc::RunStats open = closed;
+  open.open_loop = true;
+  open.admitted = 90;
+  open.shed = 10;
+  open.queue_delay.Add(1000);
+  open.queue_delay.Add(3000);
+  const Json open_row = ResultRow("chiller", Json::MakeObject(), open);
+  for (const char* key : {"admitted", "shed", "shed_rate",
+                          "queue_delay_p50_ns", "queue_delay_p99_ns",
+                          "queue_delay_mean_ns"}) {
+    ASSERT_TRUE(open_row.Has(key)) << key;
+  }
+  EXPECT_DOUBLE_EQ(open_row.Get("shed_rate")->AsDouble(), 0.1);
+  EXPECT_GT(open_row.Get("queue_delay_p99_ns")->AsDouble(), 0.0);
 }
 
 // ---------------------------------------------------------------------------

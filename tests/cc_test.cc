@@ -7,9 +7,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 
 #include "cc/cluster.h"
 #include "cc/driver.h"
+#include "cc/load_model.h"
 #include "cc/occ.h"
 #include "cc/replication.h"
 #include "cc/twopl.h"
@@ -234,6 +236,135 @@ TEST(DriverTest, DistributedRatioTracked) {
   // Random customers/flights over 4 partitions: most bookings span
   // partitions.
   EXPECT_GT(stats.DistributedRatio(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Load models (cc/load_model.h)
+// ---------------------------------------------------------------------------
+
+/// Replaces an Env's driver with one using an explicit load model.
+void UseModel(Env* env, std::unique_ptr<cc::LoadModel> model,
+              uint64_t seed = 1) {
+  env->driver = std::make_unique<cc::Driver>(
+      env->cluster.get(), env->protocol.get(), env->workload.get(),
+      std::move(model), seed);
+}
+
+TEST(LoadModelTest, ExplicitClosedLoopMatchesLegacyConstructor) {
+  // The legacy Driver constructor and an injected ClosedLoop must be the
+  // same driver, event for event (the Figure 9 baselines depend on it).
+  Env legacy = MakeEnv("2pl", 3, /*concurrency=*/3);
+  auto a = legacy.driver->Run(kMillisecond, 6 * kMillisecond);
+  legacy.driver->DrainAndStop();
+
+  Env injected = MakeEnv("2pl", 3, /*concurrency=*/3);
+  UseModel(&injected, std::make_unique<cc::ClosedLoop>(3));
+  auto b = injected.driver->Run(kMillisecond, 6 * kMillisecond);
+  injected.driver->DrainAndStop();
+
+  EXPECT_EQ(a.TotalCommits(), b.TotalCommits());
+  EXPECT_EQ(a.TotalConflictAborts(), b.TotalConflictAborts());
+  EXPECT_EQ(legacy.cluster->sim()->events_processed(),
+            injected.cluster->sim()->events_processed());
+  // Closed loop has no admission queue: the accounting must stay zero.
+  EXPECT_EQ(b.admitted, 0u);
+  EXPECT_EQ(b.shed, 0u);
+  EXPECT_EQ(b.queue_delay.count(), 0u);
+}
+
+TEST(LoadModelTest, OpenLoopDeliversTheOfferedRate) {
+  // Well under capacity the open loop must deliver ~what was offered:
+  // uniform arrivals at 20k tps cluster-wide over a 10 ms window = ~200
+  // attempts, with an idle queue and nothing shed.
+  Env env = MakeEnv("2pl", 2, /*concurrency=*/2);
+  cc::OpenLoopOptions o;
+  o.offered_tps = 20000;
+  o.arrival = "uniform";
+  o.slots_per_engine = 2;
+  o.queue_cap = 16;
+  UseModel(&env, std::make_unique<cc::OpenLoop>(o));
+  auto stats = env.driver->Run(2 * kMillisecond, 10 * kMillisecond);
+  env.driver->DrainAndStop();
+
+  EXPECT_GT(stats.admitted, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_GE(stats.TotalAttempts(), 120u);
+  EXPECT_LE(stats.TotalAttempts(), 280u);
+  EXPECT_GT(stats.TotalCommits(), 0u);
+  // Queueing delay is measured, and at 10% load it is essentially zero.
+  EXPECT_GT(stats.queue_delay.count(), 0u);
+  EXPECT_LT(stats.queue_delay.Mean(), 10000.0);
+}
+
+TEST(LoadModelTest, OpenLoopShedsAtAFullQueue) {
+  // Offered load far beyond capacity with a tiny queue: the bounded
+  // admission queue must shed most arrivals instead of queueing without
+  // limit, and what is admitted still commits.
+  Env env = MakeEnv("2pl", 2, /*concurrency=*/1);
+  cc::OpenLoopOptions o;
+  o.offered_tps = 5000000;
+  o.slots_per_engine = 1;
+  o.queue_cap = 2;
+  UseModel(&env, std::make_unique<cc::OpenLoop>(o));
+  auto stats = env.driver->Run(kMillisecond, 8 * kMillisecond);
+  env.driver->DrainAndStop();
+
+  EXPECT_GT(stats.shed, 0u);
+  EXPECT_GT(stats.admitted, 0u);
+  EXPECT_GT(stats.ShedRate(), 0.5);
+  EXPECT_LT(stats.ShedRate(), 1.0);
+  EXPECT_GT(stats.TotalCommits(), 0u);
+  // The queue was persistently full, so admitted requests waited.
+  EXPECT_GT(stats.queue_delay.Percentile(99), 0u);
+}
+
+TEST(LoadModelTest, OpenLoopIsDeterministic) {
+  auto run = [] {
+    Env env = MakeEnv("chiller", 3, /*concurrency=*/2);
+    cc::OpenLoopOptions o;
+    o.offered_tps = 100000;
+    o.slots_per_engine = 2;
+    o.queue_cap = 8;
+    o.seed = 42;
+    UseModel(&env, std::make_unique<cc::OpenLoop>(o), /*seed=*/42);
+    auto stats = env.driver->Run(kMillisecond, 6 * kMillisecond);
+    env.driver->DrainAndStop();
+    return std::make_tuple(stats.TotalCommits(), stats.admitted, stats.shed,
+                           env.cluster->sim()->events_processed());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(LoadModelTest, BatchedAdmitsInBatches) {
+  Env env = MakeEnv("2pl", 2, /*concurrency=*/2);
+  UseModel(&env, std::make_unique<cc::Batched>(/*batch_size=*/8));
+  auto stats = env.driver->Run(kMillisecond, 8 * kMillisecond);
+  env.driver->DrainAndStop();
+  EXPECT_GT(stats.TotalCommits(), 0u);
+  // Batched admission has no queue either.
+  EXPECT_EQ(stats.admitted, 0u);
+  EXPECT_EQ(stats.queue_delay.count(), 0u);
+}
+
+TEST(LoadModelTest, FactoryValidatesParams) {
+  cc::LoadModelParams p;
+  EXPECT_TRUE(cc::MakeLoadModel("closed", p).ok());
+  EXPECT_TRUE(cc::MakeLoadModel("batched", p).ok());
+  EXPECT_TRUE(cc::MakeLoadModel("nope", p).status().IsInvalidArgument());
+
+  // Open needs a positive offered rate and a non-degenerate queue.
+  EXPECT_TRUE(cc::MakeLoadModel("open", p).status().IsInvalidArgument());
+  p.offered_tps = 1000;
+  EXPECT_TRUE(cc::MakeLoadModel("open", p).ok());
+  p.queue_cap = 0;
+  EXPECT_TRUE(cc::MakeLoadModel("open", p).status().IsInvalidArgument());
+  p.queue_cap = 4;
+  p.arrival = "bursty";
+  EXPECT_TRUE(cc::MakeLoadModel("open", p).status().IsInvalidArgument());
+  p.arrival = "uniform";
+  EXPECT_TRUE(cc::MakeLoadModel("open", p).ok());
+  p.batch_size = 0;
+  EXPECT_TRUE(cc::MakeLoadModel("batched", p).status().IsInvalidArgument());
 }
 
 }  // namespace

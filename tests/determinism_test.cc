@@ -209,6 +209,75 @@ std::vector<runner::ScenarioSpec> AdaptiveSweep() {
   return specs;
 }
 
+/// Open-loop and batched specs over two offered rates (one of them an
+/// overload that sheds): the arrival clocks, the admission queue, and the
+/// shed accounting must all stay pure functions of the spec regardless of
+/// which worker thread runs the scenario.
+std::vector<runner::ScenarioSpec> LoadModelSweep() {
+  std::vector<runner::ScenarioSpec> specs;
+  for (double offered : {40000.0, 4000000.0}) {
+    for (const char* arrival : {"poisson", "uniform"}) {
+      for (uint64_t seed : {5, 17}) {
+        runner::ScenarioSpec spec;
+        spec.workload = "ycsb";
+        spec.protocol = "chiller";
+        spec.nodes = 2;
+        spec.engines_per_node = 1;
+        spec.concurrency = 2;
+        spec.seed = seed;
+        spec.warmup = kMillisecond;
+        spec.measure = 3 * kMillisecond;
+        spec.options.Set("keys_per_partition", 1000);
+        spec.options.Set("theta", 0.95);
+        spec.load_model = "open";
+        spec.offered_tps = offered;
+        spec.arrival = arrival;
+        spec.queue_cap = 8;
+        specs.push_back(std::move(spec));
+      }
+    }
+  }
+  runner::ScenarioSpec batched;
+  batched.workload = "ycsb";
+  batched.protocol = "2pl";
+  batched.nodes = 2;
+  batched.engines_per_node = 1;
+  batched.concurrency = 2;
+  batched.seed = 23;
+  batched.warmup = kMillisecond;
+  batched.measure = 3 * kMillisecond;
+  batched.options.Set("keys_per_partition", 1000);
+  batched.load_model = "batched";
+  batched.batch_size = 6;
+  specs.push_back(std::move(batched));
+  return specs;
+}
+
+TEST(SweepDeterminismTest, OpenLoopJobsOneAndJobsEightAreByteIdentical) {
+  const auto specs = LoadModelSweep();
+  const auto serial_results = runner::SweepExecutor(1).Run(specs);
+  const std::string serial = SweepFingerprint(serial_results);
+  const std::string threaded =
+      SweepFingerprint(runner::SweepExecutor(8).Run(specs));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+  // The fingerprint must actually cover the new accounting: the overload
+  // points shed, the light points do not.
+  bool any_shed = false;
+  for (const auto& r : serial_results) {
+    ASSERT_TRUE(r.ok());
+    if (r->spec.load_model != "open") continue;
+    EXPECT_GT(r->stats.admitted, 0u);
+    if (r->spec.offered_tps > 1000000.0) {
+      EXPECT_GT(r->stats.shed, 0u);
+      any_shed = true;
+    } else {
+      EXPECT_EQ(r->stats.shed, 0u);
+    }
+  }
+  EXPECT_TRUE(any_shed);
+}
+
 TEST(SweepDeterminismTest, AdaptiveJobsOneAndJobsEightAreByteIdentical) {
   const auto specs = AdaptiveSweep();
   const auto serial_results = runner::SweepExecutor(1).Run(specs);
