@@ -38,6 +38,13 @@ Json ResultRow(const std::string& protocol, Json params,
     row["queue_delay_mean_ns"] = q.count() == 0 ? 0.0 : q.Mean();
   }
 
+  // Live-migration abort class: only present when the bucket gate actually
+  // fired in the window, so every report predating the migrate subsystem
+  // (and every quiesced or migration-free run since) keeps its exact shape.
+  if (stats.TotalMigrationAborts() > 0) {
+    row["migration_aborts"] = stats.TotalMigrationAborts();
+  }
+
   Json per_class = Json::MakeObject();
   for (const auto& cls : stats.classes) {
     if (cls.name.empty() && cls.attempts() == 0) continue;

@@ -1,0 +1,232 @@
+// Live vs quiesced relayout under traffic (the src/migrate subsystem,
+// paper Section 4.1's production loop). Three modes over the same
+// hash-start contended ycsb (`adaptive`) scenario:
+//
+//   quiesced   — sample -> replan -> Phase::Migrate(): the legacy
+//                stop-the-world relayout. Its timeline shows a
+//                zero-commit window exactly as long as the migration.
+//   live       — sample -> replan -> Phase::LiveMigrate(): the same plan
+//                executed one relayout bucket at a time while traffic
+//                flows; transactions hitting the in-flight bucket retry
+//                with the dedicated migration abort class. The timeline
+//                stays above zero through the whole relayout.
+//   continuous — no phase plan at all: the measure window runs under
+//                migrate::AdaptiveController (periodic sample -> replan ->
+//                live-migrate epochs with drift gating + hysteresis).
+//
+// Both phased modes sample identically, so they replan identical layouts
+// and move identical record sets: the comparison isolates *how* the move
+// is paid for. Each row carries the full commit-flow timeline
+// (timeline_slice-sized buckets of lifetime commits + latency) so the
+// relayout window is visible, not just summarized.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_flags.h"
+#include "bench/bench_report.h"
+#include "runner/sweep.h"
+
+namespace chiller::bench {
+namespace {
+
+constexpr SimTime kTimelineSlice = 250 * kMicrosecond;
+
+void Main(const BenchFlags& flags) {
+  std::printf(
+      "Live migration — ycsb (theta=%.2f) on %u nodes x %u engines,\n"
+      "%s protocol; quiesced vs per-bucket live relayout vs the\n"
+      "continuous adaptivity controller.\n\n",
+      flags.theta, flags.nodes, flags.engines, flags.protocol.c_str());
+
+  BenchReport report("migration");
+  report.SetConfig("nodes", flags.nodes);
+  report.SetConfig("engines_per_node", flags.engines);
+  report.SetConfig("protocol", flags.protocol);
+  report.SetConfig("theta", flags.theta);
+  report.SetConfig("warmup_ms", flags.warmup_ms);
+  report.SetConfig("duration_ms", flags.duration_ms);
+  report.SetConfig("seed", flags.seed);
+  report.SetConfig("timeline_slice_us",
+                   static_cast<uint64_t>(kTimelineSlice / kMicrosecond));
+
+  const SimTime warmup = static_cast<SimTime>(flags.warmup_ms * kMillisecond);
+  const SimTime measure =
+      static_cast<SimTime>(flags.duration_ms * kMillisecond);
+  // Same shape as fig_adaptive_relayout: a long sample window so the
+  // replan sees the contended head, then a resettle before measuring.
+  const SimTime sample = 2 * warmup + measure;
+  const SimTime resettle = warmup;
+
+  auto base_spec = [&] {
+    runner::ScenarioSpec spec;
+    spec.workload = "adaptive";
+    spec.protocol = flags.protocol;
+    spec.nodes = flags.nodes;
+    spec.engines_per_node = flags.engines;
+    spec.concurrency = flags.concurrency;
+    spec.seed = flags.seed;
+    ApplyLoadModelFlags(flags, &spec);
+    spec.options.Set("theta", flags.theta);
+    spec.options.Set("keys_per_partition", 10000);
+    spec.timeline_slice = kTimelineSlice;
+    return spec;
+  };
+
+  runner::ScenarioSpec quiesced = base_spec();
+  quiesced.label = "quiesced";
+  quiesced.phases = {
+      runner::Phase::Warmup(warmup),
+      runner::Phase::Sample(sample, /*rate=*/1.0),
+      runner::Phase::Replan(),
+      runner::Phase::Migrate(),
+      runner::Phase::Warmup(resettle),
+      runner::Phase::Measure(measure),
+  };
+
+  runner::ScenarioSpec live = base_spec();
+  live.label = "live";
+  live.phases = {
+      runner::Phase::Warmup(warmup),
+      runner::Phase::Sample(sample, /*rate=*/1.0),
+      runner::Phase::Replan(),
+      runner::Phase::LiveMigrate(),
+      runner::Phase::Warmup(resettle),
+      runner::Phase::Measure(measure),
+  };
+
+  runner::ScenarioSpec continuous = base_spec();
+  continuous.label = "continuous";
+  continuous.continuous = true;
+  continuous.warmup = warmup;
+  // Same total simulated time as the phased modes (their relayout costs
+  // land inside this window instead of before it).
+  continuous.measure = sample + resettle + measure;
+  continuous.controller_period = std::max<SimTime>(kMillisecond, warmup);
+
+  std::vector<runner::ScenarioSpec> specs = {quiesced, live, continuous};
+  for (auto& spec : specs) {
+    spec.footprint_hint = runner::EstimateFootprint(spec);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  runner::SweepExecutor executor(flags.jobs);
+  executor.set_mem_budget_bytes(flags.MemBudgetBytes());
+  size_t completed = 0;
+  auto results = executor.Run(
+      specs, [&](size_t i, const StatusOr<runner::ScenarioResult>& r) {
+        std::fprintf(stderr, "  [migration] %s %s (%zu/%zu)\n",
+                     specs[i].label.c_str(),
+                     r.ok() ? "done" : r.status().ToString().c_str(),
+                     ++completed, specs.size());
+      });
+  const double sweep_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+
+  for (const auto& r : results) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "migration: scenario failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  auto window_tps = [](const runner::AdaptiveReport& a) {
+    const SimTime span = a.migration_end - a.migration_start;
+    if (span == 0) return 0.0;
+    return static_cast<double>(a.migration_window_commits) /
+           (static_cast<double>(span) / kSecond);
+  };
+
+  for (const auto& res : results) {
+    const runner::ScenarioResult& r = res.value();
+    const runner::AdaptiveReport& a = r.adaptive;
+    Json params = Json::MakeObject();
+    params["mode"] = r.spec.label;
+    Json row = ResultRow(flags.protocol, std::move(params), r.stats);
+    row["sampled_txns"] = a.sampled_txns;
+    row["hot_records"] = static_cast<uint64_t>(a.hot_records);
+    row["lookup_entries"] = static_cast<uint64_t>(a.lookup_entries);
+    row["moved_records"] = a.migration.moved_records;
+    row["moved_bytes"] = a.migration.moved_bytes;
+    row["migration_us"] =
+        static_cast<double>(a.migration.sim_time) / 1000.0;
+    row["buckets_moved"] = static_cast<uint64_t>(a.buckets_moved);
+    row["migration_window_start_us"] =
+        static_cast<double>(a.migration_start) / 1000.0;
+    row["migration_window_end_us"] =
+        static_cast<double>(a.migration_end) / 1000.0;
+    row["migration_window_commits"] = a.migration_window_commits;
+    row["migration_window_aborts"] = a.migration_window_aborts;
+    row["migration_window_tps"] = window_tps(a);
+    if (r.spec.continuous) {
+      row["controller_epochs"] = static_cast<uint64_t>(a.controller_epochs);
+      row["controller_migrations"] =
+          static_cast<uint64_t>(a.controller_migrations);
+      row["controller_settled"] = a.controller_settled;
+    }
+    Json timeline = Json::MakeArray();
+    for (const runner::TimelineSlice& s : a.timeline) {
+      Json slice = Json::MakeObject();
+      slice["start_us"] = static_cast<double>(s.start) / 1000.0;
+      slice["end_us"] = static_cast<double>(s.end) / 1000.0;
+      slice["commits"] = s.commits;
+      slice["tps"] = s.end == s.start
+                         ? 0.0
+                         : static_cast<double>(s.commits) /
+                               (static_cast<double>(s.end - s.start) /
+                                kSecond);
+      slice["latency_mean_ns"] =
+          s.commits == 0 ? 0.0
+                         : static_cast<double>(s.latency_ns_sum) /
+                               static_cast<double>(s.commits);
+      timeline.Append(std::move(slice));
+    }
+    row["timeline"] = std::move(timeline);
+    report.Add(std::move(row));
+  }
+
+  const runner::ScenarioResult& q = results[0].value();
+  const runner::ScenarioResult& l = results[1].value();
+  const runner::ScenarioResult& c = results[2].value();
+  std::printf("%-12s %14s %16s %14s %12s %12s\n", "mode",
+              "final Mtps", "window Mtps", "moved recs", "migr us",
+              "migr aborts");
+  auto print_mode = [&](const runner::ScenarioResult& r) {
+    std::printf("%-12s %14.3f %16.3f %14llu %12.1f %12llu\n",
+                r.spec.label.c_str(), r.stats.Throughput() / 1e6,
+                window_tps(r.adaptive) / 1e6,
+                static_cast<unsigned long long>(
+                    r.adaptive.migration.moved_records),
+                static_cast<double>(r.adaptive.migration.sim_time) / 1000.0,
+                static_cast<unsigned long long>(
+                    r.adaptive.migration_window_aborts));
+  };
+  print_mode(q);
+  print_mode(l);
+  print_mode(c);
+  std::printf(
+      "\ncontinuous: %u epochs, %u relayouts, %s\n",
+      c.adaptive.controller_epochs, c.adaptive.controller_migrations,
+      c.adaptive.controller_settled ? "settled" : "still adapting");
+
+  std::printf("\nsweep: %zu scenarios in %.1f s wall-clock (--jobs %u)\n",
+              specs.size(), sweep_ms / 1000.0, executor.jobs());
+
+  report.MaybeWrite(flags.emit_json, flags.JsonPathFor("migration"));
+}
+
+}  // namespace
+}  // namespace chiller::bench
+
+int main(int argc, char** argv) {
+  chiller::bench::BenchFlags defaults;
+  defaults.theta = 0.9;   // contended: the regime relayout targets
+  defaults.nodes = 4;     // 16 partitions: plenty of cross-partition moves
+  defaults.engines = 4;
+  defaults.warmup_ms = 2.0;
+  defaults.duration_ms = 10.0;
+  chiller::bench::Main(chiller::bench::ParseBenchFlagsOrExit(
+      argc, argv, "migration", defaults));
+}

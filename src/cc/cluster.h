@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cc/engine.h"
+#include "migrate/relayout.h"
 #include "net/network.h"
 #include "net/rdma.h"
 #include "net/rpc.h"
@@ -59,6 +60,16 @@ class Cluster {
     return static_cast<uint32_t>(engines_.size());
   }
 
+  /// Bucket-granular migration locks shared between the live migrator
+  /// (src/migrate) and the execution protocols: an access landing in an
+  /// in-flight relayout bucket aborts its attempt instead of racing the
+  /// record move. Quiet (ever_active() false) unless a live migration has
+  /// run on this cluster.
+  migrate::BucketLockTable* bucket_locks() { return &bucket_locks_; }
+  const migrate::BucketLockTable* bucket_locks() const {
+    return &bucket_locks_;
+  }
+
   storage::PartitionStore* primary(PartitionId p) {
     return primaries_[p].get();
   }
@@ -90,6 +101,7 @@ class Cluster {
 
  private:
   ClusterConfig config_;
+  migrate::BucketLockTable bucket_locks_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<net::RdmaFabric> rdma_;

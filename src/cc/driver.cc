@@ -50,6 +50,10 @@ std::shared_ptr<txn::Transaction> Driver::RebuildForRetry(
   std::shared_ptr<txn::Transaction> retry = source_->Rebuild(t);
   retry->attempt = t.attempt + 1;
   retry->admission_delay = t.admission_delay;
+  // A co-location violation is a property of the logical transaction under
+  // the live layout, not of the attempt: replanning the same inner region
+  // would abort identically forever.
+  retry->force_fallback = t.force_fallback;
   return retry;
 }
 
@@ -67,6 +71,16 @@ void Driver::NoteQueueDelay(SimTime delay) {
 
 void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
   if (observer_ && t->outcome == txn::Outcome::kCommitted) observer_(*t);
+  // Lifetime counters run regardless of the measuring toggle: timeline
+  // consumers (runner::AdaptiveReport slices, the live-migration bench)
+  // need commit flow visible across warmup and migration windows too.
+  if (t->outcome == txn::Outcome::kCommitted) {
+    ++lifetime_commits_;
+    lifetime_latency_ns_ += t->end_time - t->start_time;
+  } else if (t->outcome == txn::Outcome::kAbortConflict &&
+             t->blocked_by_migration) {
+    ++lifetime_migration_aborts_;
+  }
   if (measuring_) {
     stats_.EnsureClass(t->txn_class, source_->ClassName(t->txn_class));
     ClassStats& cs = stats_.classes[t->txn_class];
@@ -77,7 +91,11 @@ void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
         cs.latency.Add(t->end_time - t->start_time);
         break;
       case txn::Outcome::kAbortConflict:
-        ++cs.conflict_aborts;
+        if (t->blocked_by_migration) {
+          ++cs.migration_aborts;
+        } else {
+          ++cs.conflict_aborts;
+        }
         break;
       case txn::Outcome::kAbortUser:
         ++cs.user_aborts;

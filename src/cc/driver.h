@@ -110,6 +110,19 @@ class Driver {
 
   const RunStats& stats() const { return stats_; }
 
+  // Lifetime counters, independent of the measuring toggle and never
+  // reset: timeline consumers diff them across slice boundaries to see
+  // commit flow through warmup and migration windows that stats() does not
+  // cover.
+  /// Committed transactions since construction.
+  uint64_t lifetime_commits() const { return lifetime_commits_; }
+  /// Summed commit latency (end - start, ns) since construction.
+  uint64_t lifetime_latency_ns() const { return lifetime_latency_ns_; }
+  /// Attempts aborted by the live-migration bucket gate since construction.
+  uint64_t lifetime_migration_aborts() const {
+    return lifetime_migration_aborts_;
+  }
+
   /// The injected policy (never null).
   const LoadModel& load_model() const { return *model_; }
 
@@ -159,6 +172,9 @@ class Driver {
   bool started_ = false;
   bool stopped_ = false;
   TxnId next_id_ = 1;
+  uint64_t lifetime_commits_ = 0;
+  uint64_t lifetime_latency_ns_ = 0;
+  uint64_t lifetime_migration_aborts_ = 0;
 };
 
 }  // namespace chiller::cc

@@ -84,19 +84,63 @@ void RunClosures(Transaction* t, size_t i, bool apply_inline) {
 }
 
 /// Applies the pending deferred write of op `i` (Chiller outer phase 2).
+/// Any write kind can be deferred: under layouts where outer writes
+/// v-depend on inner results (common once online relayout rehomes
+/// records), inserts rebuild their record now that those results are in
+/// the context, and erases just confirm their buffered tombstone.
 void ApplyDeferredClosure(Transaction* t, size_t i) {
   const Operation& op = t->ops[i];
   Access& acc = t->accesses[i];
   Access& holder =
       acc.alias_of >= 0 ? t->accesses[static_cast<size_t>(acc.alias_of)] : acc;
-  CHILLER_CHECK(op.type == OpType::kUpdate);
-  if (op.on_apply) op.on_apply(t->ctx, &holder.local_copy);
+  if (op.type == OpType::kInsert) {
+    holder.local_copy = op.make_record(t->ctx);
+  } else if (op.type != OpType::kErase) {
+    CHILLER_CHECK(op.type == OpType::kUpdate);
+    if (op.on_apply) op.on_apply(t->ctx, &holder.local_copy);
+  }
   holder.wrote = true;
   acc.applied = true;
 }
 
 storage::PartitionStore* StoreOf(const Deps& d, PartitionId p) {
   return d.cluster->primary(p);
+}
+
+/// Store-side live-migration gate, run before any lock/fetch attempt on op
+/// `i`: the access must abort its attempt (a) while the record's relayout
+/// bucket is in flight (the move would race the lock), or (b) when a
+/// completed per-bucket flip re-homed the record between key resolution
+/// and this access landing (routing is stale; a retry re-resolves against
+/// the flipped layout). ever_active() gates the whole check off for the
+/// common case of a cluster that never live-migrates, so legacy runs stay
+/// byte-identical and pay nothing.
+bool MigrationBlocked(const Deps& d, Transaction* t, size_t i) {
+  const migrate::BucketLockTable& locks = *d.cluster->bucket_locks();
+  if (!locks.ever_active()) return false;
+  const Access& acc = t->accesses[i];
+  if (locks.IsMigrating(acc.rid)) {
+    t->blocked_by_migration = true;
+    return true;
+  }
+  if (locks.HasFrozenStorageBuckets()) {
+    // Drain escalation (see BucketLockTable): a stubborn batch froze the
+    // storage buckets it needs, which also blocks colliding keys from
+    // *other* relayout buckets.
+    storage::Table* table =
+        d.cluster->primary(acc.partition)->table(acc.rid.table);
+    if (locks.IsStorageBucketFrozen({acc.partition, acc.rid.table,
+                                     table->BucketIndex(acc.rid.key)})) {
+      t->blocked_by_migration = true;
+      return true;
+    }
+  }
+  if (!t->ops[i].access_local_replica &&
+      d.partitioner->PartitionOf(acc.rid) != acc.partition) {
+    t->blocked_by_migration = true;
+    return true;
+  }
+  return false;
 }
 
 /// Applies one holder access's effect to the primary store and unlocks.
@@ -195,6 +239,10 @@ void LockAndFetch(const Deps& d, Transaction* t, size_t i, Engine* eng,
                                         cb = std::move(cb)]() {
       const Operation& op = t->ops[i];
       Access& acc = t->accesses[i];
+      if (MigrationBlocked(d, t, i)) {
+        cb(false);
+        return;
+      }
       storage::PartitionStore* store = StoreOf(d, acc.partition);
       const int bucket_holder = FindBucketHolder(store, *t, i);
       if (bucket_holder >= 0) {
@@ -248,6 +296,7 @@ void LockAndFetch(const Deps& d, Transaction* t, size_t i, Engine* eng,
       [d, t, i, res]() {
         const Operation& op = t->ops[i];
         Access& acc = t->accesses[i];
+        if (MigrationBlocked(d, t, i)) return;  // res->ok stays false
         storage::PartitionStore* store = StoreOf(d, acc.partition);
         const int bucket_holder = FindBucketHolder(store, *t, i);
         if (bucket_holder >= 0) {
@@ -338,6 +387,12 @@ void FetchVersioned(const Deps& d, Transaction* t, size_t i, Engine* eng,
     eng->cpu()->Submit(costs.op_local, [d, t, i, cb = std::move(cb)]() {
       const Operation& op = t->ops[i];
       Access& acc = t->accesses[i];
+      // Lockless OCC reads must still respect the migration gate: the
+      // caller (occ.cc) aborts the attempt when the flag is set.
+      if (MigrationBlocked(d, t, i)) {
+        cb();
+        return;
+      }
       storage::PartitionStore* store = StoreOf(d, acc.partition);
       acc.observed_version = store->VersionOf(acc.rid);
       if (op.type != OpType::kInsert) {
@@ -364,6 +419,7 @@ void FetchVersioned(const Deps& d, Transaction* t, size_t i, Engine* eng,
     storage::Record image;
     bool has_image = false;
     bool missing = false;
+    bool blocked = false;
   };
   auto res = std::make_shared<RemoteResult>();
   const NodeId src = d.cluster->topology().NodeOfEngine(eng->id());
@@ -373,6 +429,10 @@ void FetchVersioned(const Deps& d, Transaction* t, size_t i, Engine* eng,
       [d, t, i, res]() {
         const Operation& op = t->ops[i];
         Access& acc = t->accesses[i];
+        if (MigrationBlocked(d, t, i)) {
+          res->blocked = true;
+          return;
+        }
         storage::PartitionStore* store = StoreOf(d, acc.partition);
         res->version = store->VersionOf(acc.rid);
         if (op.type != OpType::kInsert) {
@@ -392,6 +452,10 @@ void FetchVersioned(const Deps& d, Transaction* t, size_t i, Engine* eng,
                            [t, i, res, cb = std::move(cb)]() {
                              const Operation& op = t->ops[i];
                              Access& acc = t->accesses[i];
+                             if (res->blocked) {
+                               cb();
+                               return;
+                             }
                              acc.observed_version = res->version;
                              if (res->missing) {
                                if (op.skip_group >= 0) {
@@ -418,6 +482,7 @@ void ValidateLockWrite(const Deps& d, Transaction* t, size_t i, Engine* eng,
   CHILLER_CHECK(acc.alias_of < 0);
   auto attempt = [d, t, i](storage::PartitionStore* store) -> bool {
     Access& acc = t->accesses[i];
+    if (MigrationBlocked(d, t, i)) return false;
     if (store->VersionOf(acc.rid) != acc.observed_version) return false;
     if (FindBucketHolder(store, *t, i) >= 0) {
       // The bucket is validation-locked by an earlier write of this
@@ -457,6 +522,7 @@ void ValidateRead(const Deps& d, Transaction* t, size_t i, Engine* eng,
   CHILLER_CHECK(acc.alias_of < 0);
   auto check = [d, t, i]() -> bool {
     Access& acc = t->accesses[i];
+    if (MigrationBlocked(d, t, i)) return false;
     storage::PartitionStore* store = StoreOf(d, acc.partition);
     // Version must match and no concurrent writer may hold the bucket —
     // our own validation lock on a colliding key does not count.

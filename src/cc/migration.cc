@@ -6,17 +6,9 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "migrate/migration_plan.h"
 
 namespace chiller::cc {
-
-namespace {
-
-/// Wire accounting per moved record, mirroring ReplicationManager's
-/// update-stream framing: header + rid + image.
-constexpr size_t kBatchHeaderBytes = 64;
-constexpr size_t kPerRecordOverheadBytes = 24;
-
-}  // namespace
 
 StatusOr<MigrationStats> MigrateToLayout(
     Cluster* cluster, ReplicationManager* repl,
@@ -30,20 +22,17 @@ StatusOr<MigrationStats> MigrateToLayout(
     }
   }
 
-  // Scan pass: (from, to) -> rids, in deterministic partition/bucket scan
-  // order. A record already present at its layout target was loaded
-  // everywhere (a read-only reference table): its placement is
-  // "everywhere" and it never moves — probing the target primary detects
-  // that without a cluster-wide copy count.
+  // The schedule comes from the shared planner: a 1-bucket diff is the
+  // whole relayout as one unit, in the deterministic scan order this path
+  // has always used. Regrouping by (from, to) reproduces the legacy
+  // per-partition-pair batching byte for byte.
+  const migrate::MigrationPlan plan =
+      migrate::MigrationPlan::Diff(cluster, layout, /*num_buckets=*/1);
   std::map<std::pair<PartitionId, PartitionId>, std::vector<RecordId>> moves;
-  for (PartitionId p = 0; p < partitions; ++p) {
-    cluster->primary(p)->ForEach(
-        [&](const RecordId& rid, const storage::Record&) {
-          const PartitionId target = layout.PartitionOf(rid);
-          if (target == p) return;
-          if (cluster->primary(target)->Find(rid) != nullptr) return;
-          moves[{p, target}].push_back(rid);
-        });
+  for (const migrate::MoveUnit& unit : plan.units) {
+    for (const migrate::RecordMove& mv : unit.moves) {
+      moves[{mv.from, mv.to}].push_back(mv.rid);
+    }
   }
 
   MigrationStats stats;
@@ -64,13 +53,13 @@ StatusOr<MigrationStats> MigrateToLayout(
     // simulated transfer below).
     auto batch = std::make_shared<std::vector<ReplUpdate>>();
     std::vector<ReplUpdate> erases;
-    size_t bytes = kBatchHeaderBytes;
+    size_t bytes = kMigrationBatchHeaderBytes;
     batch->reserve(rids.size());
     erases.reserve(rids.size());
     for (const RecordId& rid : rids) {
       auto rec = cluster->ExtractRecord(rid, from);
       if (!rec.ok()) return rec.status();
-      bytes += kPerRecordOverheadBytes + rec.value().wire_bytes();
+      bytes += kMigrationPerRecordOverheadBytes + rec.value().wire_bytes();
       batch->push_back(ReplUpdate{.kind = ReplUpdate::Kind::kPut,
                                   .rid = rid,
                                   .image = std::move(rec).value()});

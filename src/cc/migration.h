@@ -1,5 +1,8 @@
-// Online record migration: moves a quiesced cluster's primary records to
-// match a new partitioning layout, paying simulated network cost.
+// Quiesced record migration: moves a quiesced cluster's primary records to
+// match a new partitioning layout, paying simulated network cost. The
+// schedule (which records move where) comes from migrate::MigrationPlan —
+// the same planner the live, bucket-incremental path (migrate::
+// LiveMigrator) executes under traffic.
 #ifndef CHILLER_CC_MIGRATION_H_
 #define CHILLER_CC_MIGRATION_H_
 
@@ -10,9 +13,17 @@
 
 namespace chiller::cc {
 
+/// Wire accounting per moved batch/record, mirroring ReplicationManager's
+/// update-stream framing: header + rid + image. Shared by the quiesced
+/// path below and migrate::LiveMigrator so both schedules cost moves
+/// identically.
+inline constexpr size_t kMigrationBatchHeaderBytes = 64;
+inline constexpr size_t kMigrationPerRecordOverheadBytes = 24;
+
 /// What a relayout cost: the records that physically moved, the bytes that
 /// crossed the fabric for them, and the simulated time the cluster spent
-/// migrating (the "pause" the measure phase pays for a better layout).
+/// migrating (for the quiesced path, the "pause" the measure phase pays;
+/// for the live path, the span records were in flight under traffic).
 struct MigrationStats {
   uint64_t moved_records = 0;
   uint64_t moved_bytes = 0;

@@ -60,7 +60,16 @@ class OccRun : public std::enable_shared_from_this<OccRun> {
       }
       t.accesses[i].partition = exec::ResolvePartition(self->deps_, t, i);
       exec::FetchVersioned(self->deps_, self->t_.get(), i, self->eng_,
-                           [self, i]() { self->ExecNext(i + 1); });
+                           [self, i]() {
+                             if (self->t_->blocked_by_migration) {
+                               // The record's relayout bucket is mid-move:
+                               // nothing was fetched and no locks are held,
+                               // so aborting the attempt is free.
+                               self->Done(Outcome::kAbortConflict);
+                               return;
+                             }
+                             self->ExecNext(i + 1);
+                           });
     });
   }
 

@@ -21,12 +21,20 @@ struct ClassStats {
   uint64_t commits = 0;
   uint64_t conflict_aborts = 0;
   uint64_t user_aborts = 0;
+  /// Attempts aborted because a live migration held the relayout bucket of
+  /// a record they touched (src/migrate). Transient by construction — the
+  /// retry lands after the bucket flips — so they are counted apart from
+  /// real data conflicts and, like user aborts, excluded from AbortRate.
+  uint64_t migration_aborts = 0;
   uint64_t distributed_commits = 0;
   Histogram latency;  ///< committed-attempt latency, ns
 
-  uint64_t attempts() const { return commits + conflict_aborts + user_aborts; }
+  uint64_t attempts() const {
+    return commits + conflict_aborts + user_aborts + migration_aborts;
+  }
   /// The paper's abort-rate metric: aborted attempts / all attempts
-  /// (user aborts are intrinsic to the workload and excluded).
+  /// (user and migration aborts are not data contention and are excluded
+  /// from the numerator).
   double AbortRate() const {
     const uint64_t a = attempts();
     return a == 0 ? 0.0
@@ -89,6 +97,11 @@ struct RunStats {
   uint64_t TotalConflictAborts() const {
     uint64_t c = 0;
     for (const auto& s : classes) c += s.conflict_aborts;
+    return c;
+  }
+  uint64_t TotalMigrationAborts() const {
+    uint64_t c = 0;
+    for (const auto& s : classes) c += s.migration_aborts;
     return c;
   }
   uint64_t TotalAttempts() const {

@@ -156,9 +156,21 @@ class ChillerRun : public std::enable_shared_from_this<ChillerRun> {
             t.accesses[i].partition = exec::ResolvePartition(self->deps_, t, i);
           }
           // The dependency graph guarantees every inner record is local to
-          // the host (Section 3.3 step 4).
-          CHILLER_CHECK(t.accesses[i].partition == self->plan_.inner_host)
-              << "inner op " << i << " not on inner host";
+          // the host (Section 3.3 step 4). Under a layout produced by
+          // online relayout that guarantee can break for late-resolved
+          // keys — the workload's co_located_with_dep declarations assume
+          // the layout it was written against. Abort the attempt and pin
+          // its retries to the fallback protocol: replanning would build
+          // the same broken inner region forever.
+          if (t.accesses[i].partition != self->plan_.inner_host) {
+            CHILLER_CHECK(
+                self->deps_.cluster->bucket_locks()->ever_active())
+                << "inner op " << i << " not on inner host";
+            t.force_fallback = true;
+            self->InnerAbort(Outcome::kAbortConflict, result,
+                             std::move(reply));
+            return;
+          }
           exec::LockAndFetch(
               self->deps_, self->t_.get(), i, self->inner_eng_,
               /*apply_inline=*/true,
@@ -322,7 +334,7 @@ void ChillerProtocol::Execute(std::shared_ptr<Transaction> t,
       }
     }
     TwoRegionPlan plan;
-    if (self->enable_two_region_) {
+    if (self->enable_two_region_ && !t->force_fallback) {
       plan = txn::DependencyAnalysis::Plan(
           *t,
           [self](const RecordId& rid) {
@@ -332,7 +344,9 @@ void ChillerProtocol::Execute(std::shared_ptr<Transaction> t,
             return self->partitioner_->PartitionOf(rid);
           });
     } else {
-      plan.fallback_reason = "two-region execution disabled";
+      plan.fallback_reason = t->force_fallback
+                                 ? "co-location violated under live layout"
+                                 : "two-region execution disabled";
     }
     if (!plan.two_region) {
       ++self->counters_.fallback_txns;

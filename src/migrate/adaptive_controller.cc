@@ -1,0 +1,163 @@
+#include "migrate/adaptive_controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "partition/chiller_partitioner.h"
+#include "partition/metrics.h"
+#include "partition/stats_collector.h"
+
+namespace chiller::migrate {
+
+AdaptiveController::AdaptiveController(cc::Driver* driver,
+                                       cc::Cluster* cluster,
+                                       cc::ReplicationManager* repl,
+                                       partition::SwappablePartitioner* live,
+                                       AdaptiveControllerOptions options)
+    : driver_(driver),
+      cluster_(cluster),
+      repl_(repl),
+      live_(live),
+      opts_(options) {
+  CHILLER_CHECK(opts_.period > 0);
+  CHILLER_CHECK(opts_.sample_rate > 0.0 && opts_.sample_rate <= 1.0);
+  CHILLER_CHECK(opts_.drift_threshold >= 0.0);
+  CHILLER_CHECK(opts_.hysteresis_epochs >= 1);
+  CHILLER_CHECK(opts_.relayout_buckets >= 1);
+}
+
+AdaptiveController::~AdaptiveController() = default;
+
+StatusOr<SimTime> AdaptiveController::RunFor(
+    SimTime duration, const std::function<void(SimTime)>& advance) {
+  auto step = [&](SimTime d) {
+    if (advance) {
+      advance(d);
+    } else {
+      driver_->Advance(d);
+    }
+  };
+
+  SimTime advanced = 0;
+  while (advanced < duration) {
+    const SimTime this_step = std::min(opts_.period, duration - advanced);
+    const bool migrating = migrator_ != nullptr && !migrator_->done();
+    if (!report_.settled && !migrating) {
+      // One collector for the whole run — the statistics service's view of
+      // the workload only grows (paper Section 4.1), which is what lets a
+      // stable workload converge: single-epoch samples are thin enough
+      // that every fresh candidate would genuinely beat the last noisy
+      // one, and the loop would churn forever.
+      if (collector_ == nullptr) {
+        collector_ = std::make_unique<partition::StatsCollector>(
+            opts_.sample_rate, opts_.seed);
+        collector_->set_retain_traces(true);
+      }
+      partition::StatsCollector* stats = collector_.get();
+      driver_->SetCommitObserver(
+          [stats](const txn::Transaction& t) { stats->Observe(t); });
+    }
+    step(this_step);
+    advanced += this_step;
+    ++report_.epochs;
+    CloseEpoch();
+  }
+
+  // Never hand control back mid-transition: routing must be collapsed
+  // before the caller reads final state.
+  while (migrator_ != nullptr && !migrator_->done()) {
+    step(opts_.period);
+    advanced += opts_.period;
+    ++report_.epochs;
+    CloseEpoch();
+  }
+  return advanced;
+}
+
+void AdaptiveController::CloseEpoch() {
+  if (migrator_ != nullptr && migrator_->done()) {
+    // Harvest the finished relayout's accounting exactly once. No replan
+    // this epoch — it sampled nothing while the relayout ran.
+    const LiveMigrationStats& ms = migrator_->stats();
+    report_.moved_records += ms.base.moved_records;
+    report_.moved_bytes += ms.base.moved_bytes;
+    report_.migration_sim_time += ms.base.sim_time;
+    report_.buckets_moved += ms.buckets_moved;
+    if (report_.first_migration_start == 0) {
+      report_.first_migration_start = migration_start_;
+    }
+    // Harvest boundary, not the exact in-flight end: the window counters
+    // below are read here, so span and counters describe the same
+    // interval (the exact span lives in migration_sim_time).
+    report_.last_migration_end = cluster_->sim()->now();
+    report_.window_commits +=
+        driver_->lifetime_commits() - commits_at_start_;
+    report_.window_aborts +=
+        driver_->lifetime_migration_aborts() - aborts_at_start_;
+    migrator_.reset();
+    return;
+  }
+  if (report_.settled || migrator_ != nullptr) return;
+  if (collector_ == nullptr) return;
+
+  driver_->SetCommitObserver(nullptr);
+  report_.sampled_txns = collector_->sampled_txns();
+
+  // Holdout split over the cumulative trace set: the candidate trains on
+  // the even-indexed traces and both layouts are scored on the odd-indexed
+  // ones. Without the split, the candidate is evaluated on its own
+  // training sample and "improves" by its overfit margin every epoch —
+  // the controller would re-migrate a stable workload forever.
+  const std::vector<partition::TxnAccessTrace>& all = collector_->traces();
+  std::vector<partition::TxnAccessTrace> train;
+  std::vector<partition::TxnAccessTrace> eval;
+  train.reserve(all.size() / 2 + 1);
+  eval.reserve(all.size() / 2);
+  for (size_t i = 0; i < all.size(); ++i) {
+    (i % 2 == 0 ? train : eval).push_back(all[i]);
+  }
+
+  partition::ChillerPartitioner::Options popts;
+  popts.k = cluster_->topology().num_partitions();
+  popts.seed = opts_.seed;
+  popts.hot_threshold = opts_.hot_threshold;
+  popts.lock_window_txns = opts_.lock_window_txns;
+  auto out = partition::ChillerPartitioner::Build(train, popts);
+
+  // Drift: the relative residual-contention improvement the candidate
+  // layout delivers on the held-out traces. Cost-based rather than
+  // placement-diff-based on purpose — the min-cut has many symmetric
+  // optima, and a converged layout must read as "no drift" even when the
+  // candidate relabels partitions. A relayout only starts when it would
+  // actually pay (the reaction-worth-the-cost rule of the production
+  // loop).
+  const double live_cost = partition::ResidualContention(
+      eval, *live_, *collector_, opts_.lock_window_txns);
+  const double cand_cost = partition::ResidualContention(
+      eval, *out.partitioner, *collector_, opts_.lock_window_txns);
+  const double drift =
+      live_cost <= 0.0 ? 0.0 : (live_cost - cand_cost) / live_cost;
+
+  MigrationPlan plan;
+  if (drift > opts_.drift_threshold) {
+    plan = MigrationPlan::Diff(cluster_, *out.partitioner,
+                               opts_.relayout_buckets);
+  }
+  if (plan.total_moves() > 0) {
+    calm_epochs_ = 0;
+    migrator_ = std::make_unique<LiveMigrator>(cluster_, repl_, live_,
+                                               opts_.migrator);
+    migration_start_ = cluster_->sim()->now();
+    commits_at_start_ = driver_->lifetime_commits();
+    aborts_at_start_ = driver_->lifetime_migration_aborts();
+    const Status st =
+        migrator_->Start(std::move(plan), std::move(out.partitioner));
+    CHILLER_CHECK(st.ok()) << st.ToString();
+    ++report_.migrations;
+  } else if (++calm_epochs_ >= opts_.hysteresis_epochs) {
+    report_.settled = true;
+  }
+}
+
+}  // namespace chiller::migrate

@@ -1,0 +1,121 @@
+// AdaptiveController: the continuous sample -> replan -> migrate loop of
+// paper Section 4.1, run as a periodic background activity instead of a
+// one-shot phase pair.
+//
+// The controller interleaves with the driver's Advance loop: each epoch it
+// attaches a sampling StatsCollector to the commit observer, advances one
+// period of simulated time, rebuilds a candidate Chiller layout from the
+// epoch's traces, and measures *drift* — the fraction of resident primary
+// records whose placement would change under the candidate. Drift above
+// the threshold starts a LiveMigrator (traffic keeps flowing; the
+// controller skips replanning while a relayout is in flight). Hysteresis:
+// after `hysteresis_epochs` consecutive calm epochs the controller settles
+// — sampling and replanning stop until the run ends, so a stable workload
+// pays nothing.
+#ifndef CHILLER_MIGRATE_ADAPTIVE_CONTROLLER_H_
+#define CHILLER_MIGRATE_ADAPTIVE_CONTROLLER_H_
+
+#include <functional>
+#include <memory>
+
+#include "cc/driver.h"
+#include "cc/replication.h"
+#include "common/status.h"
+#include "migrate/live_migrator.h"
+#include "partition/lookup_table.h"
+#include "partition/stats_collector.h"
+
+namespace chiller::migrate {
+
+struct AdaptiveControllerOptions {
+  /// Epoch length: one sample window + one replan decision per period.
+  SimTime period = 2 * kMillisecond;
+  /// Fraction of committed transactions the epoch collector records.
+  double sample_rate = 1.0;
+  /// Drift above which a relayout starts: the *relative residual-
+  /// contention improvement* (partition::ResidualContention on the epoch's
+  /// traces) the candidate layout would deliver over the live one. ~1.0
+  /// means the live layout is obsolete (hash start, workload shift); ~0
+  /// means converged — deliberately cost-based, so the min-cut's symmetric
+  /// relabelings of an already-good layout read as zero drift.
+  double drift_threshold = 0.1;
+  /// Consecutive calm (below-threshold) epochs before the controller
+  /// settles and stops sampling.
+  uint32_t hysteresis_epochs = 2;
+  /// Replan knobs (see partition::ChillerPartitioner::Options).
+  double hot_threshold = 0.05;
+  double lock_window_txns = 16.0;
+  /// Relayout bucket count for plans and the lock-table epoch.
+  uint32_t relayout_buckets = 64;
+  LiveMigratorOptions migrator;
+  /// Seed for the epoch collectors (stream-split per epoch).
+  uint64_t seed = 1;
+};
+
+struct AdaptiveControllerReport {
+  uint32_t epochs = 0;           ///< periods advanced
+  uint32_t migrations = 0;       ///< relayouts started
+  uint64_t sampled_txns = 0;     ///< across every epoch collector
+  uint64_t moved_records = 0;
+  uint64_t moved_bytes = 0;
+  SimTime migration_sim_time = 0;  ///< summed in-flight spans
+  uint32_t buckets_moved = 0;      ///< relayout buckets completed
+  /// Relayout window on the simulator clock, at epoch granularity: the
+  /// first relayout's start to the epoch boundary where the last one was
+  /// harvested (zero when no relayout ran). The exact in-flight span is
+  /// migration_sim_time; this window matches the counters below, so
+  /// commits / (end - start) is a consistent rate.
+  SimTime first_migration_start = 0;
+  SimTime last_migration_end = 0;
+  /// Commits / bucket-gate aborts inside [first_migration_start,
+  /// last_migration_end] — up to one period of post-completion traffic
+  /// per relayout rides along, matching the window above.
+  uint64_t window_commits = 0;
+  uint64_t window_aborts = 0;
+  bool settled = false;          ///< hysteresis tripped; loop went quiet
+};
+
+class AdaptiveController {
+ public:
+  AdaptiveController(cc::Driver* driver, cc::Cluster* cluster,
+                     cc::ReplicationManager* repl,
+                     partition::SwappablePartitioner* live,
+                     AdaptiveControllerOptions options);
+  ~AdaptiveController();
+
+  /// Runs at least `duration` of simulated time in period-sized epochs,
+  /// advancing through `advance` (defaults to driver->Advance; the runner
+  /// injects a timeline-slicing wrapper). If a relayout is still in flight
+  /// when the duration elapses, advancing continues in period steps until
+  /// it settles, so the loop never ends with routing mid-transition.
+  /// Returns the total simulated time advanced.
+  StatusOr<SimTime> RunFor(
+      SimTime duration,
+      const std::function<void(SimTime)>& advance = nullptr);
+
+  const AdaptiveControllerReport& report() const { return report_; }
+
+ private:
+  /// Ends the epoch: detach sampling, replan, measure drift, maybe start a
+  /// relayout, update hysteresis.
+  void CloseEpoch();
+
+  cc::Driver* driver_;
+  cc::Cluster* cluster_;
+  cc::ReplicationManager* repl_;
+  partition::SwappablePartitioner* live_;
+  AdaptiveControllerOptions opts_;
+
+  std::unique_ptr<partition::StatsCollector> collector_;
+  std::unique_ptr<LiveMigrator> migrator_;
+  uint32_t calm_epochs_ = 0;
+  // In-flight relayout bookkeeping (see the window fields of the report).
+  SimTime migration_start_ = 0;
+  uint64_t commits_at_start_ = 0;
+  uint64_t aborts_at_start_ = 0;
+  AdaptiveControllerReport report_;
+};
+
+}  // namespace chiller::migrate
+
+#endif  // CHILLER_MIGRATE_ADAPTIVE_CONTROLLER_H_

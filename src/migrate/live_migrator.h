@@ -1,0 +1,130 @@
+// LiveMigrator: incremental, per-bucket record relayout that runs
+// concurrently with transaction traffic.
+//
+// Where cc::MigrateToLayout quiesces the whole cluster and moves everything
+// in one stop-the-world pause, the LiveMigrator walks a MigrationPlan one
+// relayout bucket at a time:
+//
+//   1. lock the bucket in the cluster's BucketLockTable — transactions
+//      touching it abort with the dedicated migration abort class and
+//      retry through their load model's backoff; all other traffic flows;
+//   2. ship the bucket's moves as per-(from,to) batches over the RPC layer
+//      (paying the same simulated transfer + install cost per batch as the
+//      quiesced path);
+//   3. at each batch's arrival, atomically extract + install its records —
+//      a single simulator event, so record conservation and single
+//      residency hold at every observable instant. Storage-bucket lock
+//      words still held by transactions that got in before the bucket lock
+//      delay the batch (retried on a short interval) until they drain;
+//   4. resync replicas (erases stream from the old primary's engine, so
+//      per-queue-pair FIFO ordering keeps them behind any still-in-flight
+//      commit replication; puts stream from the new primary's engine);
+//   5. once every batch and replica ack of the bucket has settled, flip the
+//      bucket's entry in the SwappablePartitioner and release its lock in
+//      the same event — routing and physical placement never disagree.
+//
+// When the last unit finishes, the partitioner transition collapses
+// (buckets without placement diffs flip implicitly) and the epoch closes.
+//
+// Assumption inherited from the layout pipeline: records without an
+// explicit lookup entry place identically under the outgoing and incoming
+// layouts (both fall back to the same hash), so keys inserted while the
+// plan executes never strand. Records deleted after planning are skipped
+// (counted in stats().skipped_records).
+#ifndef CHILLER_MIGRATE_LIVE_MIGRATOR_H_
+#define CHILLER_MIGRATE_LIVE_MIGRATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "cc/cluster.h"
+#include "cc/migration.h"
+#include "cc/replication.h"
+#include "common/status.h"
+#include "migrate/migration_plan.h"
+#include "partition/lookup_table.h"
+
+namespace chiller::migrate {
+
+struct LiveMigratorOptions {
+  /// Records per RPC batch; a (from, to) group larger than this splits
+  /// into several batches, each paying its own header + transfer.
+  uint32_t batch_records = 128;
+  /// Recheck interval while a batch waits for storage-bucket lock words
+  /// (transactions that acquired them before the bucket lock) to drain.
+  SimTime retry_interval = 2 * kMicrosecond;
+  /// After this many rechecks the batch escalates: it freezes the exact
+  /// storage buckets it needs in the BucketLockTable, so colliding keys
+  /// from other relayout buckets stop re-locking them and the drain is
+  /// guaranteed to terminate (the relayout-bucket gate alone cannot stop
+  /// those keys).
+  uint32_t freeze_after_retries = 16;
+};
+
+/// Accounting beyond the shared MigrationStats shape.
+struct LiveMigrationStats {
+  cc::MigrationStats base;       ///< moved records/bytes + in-flight span
+  uint64_t batches = 0;          ///< RPC batches shipped
+  uint64_t lock_retries = 0;     ///< batch completions delayed by held locks
+  uint64_t freezes = 0;          ///< batches that escalated to a freeze
+  uint64_t skipped_records = 0;  ///< planned moves whose record vanished
+  uint32_t buckets_moved = 0;    ///< units completed (locked -> flipped)
+};
+
+/// One live relayout execution. Drive it by advancing the cluster's
+/// simulator (e.g. cc::Driver::Advance) after Start(): all migrator work
+/// runs as simulator events interleaved with transaction traffic. One
+/// relayout at a time per cluster (the BucketLockTable enforces it).
+class LiveMigrator {
+ public:
+  LiveMigrator(cc::Cluster* cluster, cc::ReplicationManager* repl,
+               partition::SwappablePartitioner* live,
+               LiveMigratorOptions options = {});
+
+  /// Stages `next` as the incoming layout (per-bucket indirection on
+  /// `live`), opens the lock-table epoch, and schedules the first unit.
+  /// `plan` must have been diffed against `next` over the same bucket
+  /// count. FailedPrecondition if a relayout is already in flight.
+  Status Start(MigrationPlan plan,
+               std::unique_ptr<partition::RecordPartitioner> next);
+
+  /// True once every unit has flipped and the epoch is closed.
+  bool done() const { return done_; }
+
+  const LiveMigrationStats& stats() const { return stats_; }
+
+ private:
+  struct Batch {
+    size_t unit_index = 0;
+    std::vector<RecordMove> moves;
+    size_t bytes = 0;  ///< launch-time transfer-cost estimate
+    uint32_t retries = 0;
+    /// Storage buckets this batch froze (escalated drain); lifted when
+    /// the batch completes.
+    std::vector<BucketLockTable::StorageBucketKey> frozen;
+  };
+
+  void BeginUnit(size_t u);
+  void LaunchBatches(size_t u);
+  void TryCompleteBatch(std::shared_ptr<Batch> batch);
+  void OnUnitEvent(size_t u);  ///< one outstanding completion arrived
+  void FinishUnit(size_t u);
+  void FinishAll();
+
+  cc::Cluster* cluster_;
+  cc::ReplicationManager* repl_;
+  partition::SwappablePartitioner* live_;
+  BucketLockTable* locks_;
+  LiveMigratorOptions opts_;
+
+  MigrationPlan plan_;
+  LiveMigrationStats stats_;
+  SimTime start_time_ = 0;
+  size_t unit_outstanding_ = 0;  ///< unmoved batches + unacked streams
+  bool running_ = false;
+  bool done_ = false;
+};
+
+}  // namespace chiller::migrate
+
+#endif  // CHILLER_MIGRATE_LIVE_MIGRATOR_H_

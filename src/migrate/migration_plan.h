@@ -1,0 +1,63 @@
+// MigrationPlan: the diff between the cluster's current physical record
+// placement and a target layout, grouped into per-relayout-bucket move
+// units — the schedule both migration paths execute (cc::MigrateToLayout
+// runs the whole plan under a quiesced cluster; migrate::LiveMigrator runs
+// it one bucket at a time under live traffic).
+#ifndef CHILLER_MIGRATE_MIGRATION_PLAN_H_
+#define CHILLER_MIGRATE_MIGRATION_PLAN_H_
+
+#include <vector>
+
+#include "cc/cluster.h"
+#include "migrate/relayout.h"
+#include "partition/lookup_table.h"
+
+namespace chiller::migrate {
+
+/// One record that must change primaries.
+struct RecordMove {
+  RecordId rid;
+  PartitionId from = kInvalidPartition;
+  PartitionId to = kInvalidPartition;
+
+  friend bool operator==(const RecordMove&, const RecordMove&) = default;
+};
+
+/// All moves of one relayout bucket — the unit the live migrator locks,
+/// ships, and flips atomically with respect to transaction traffic.
+struct MoveUnit {
+  BucketId bucket = 0;
+  std::vector<RecordMove> moves;
+};
+
+struct MigrationPlan {
+  /// The relayout bucket space this plan was diffed over. Must match the
+  /// BucketLockTable epoch and the SwappablePartitioner transition.
+  uint32_t num_buckets = 1;
+
+  /// Units in ascending bucket order; buckets with no placement diffs are
+  /// omitted (they flip implicitly when the transition finishes). Within a
+  /// unit, moves follow the deterministic partition/table/bucket scan
+  /// order of the diff.
+  std::vector<MoveUnit> units;
+
+  size_t total_moves() const {
+    size_t n = 0;
+    for (const MoveUnit& u : units) n += u.moves.size();
+    return n;
+  }
+
+  /// Scans every primary record and diffs its current residency against
+  /// `target`. Records already present at their target primary are records
+  /// loaded everywhere (fully replicated read-only tables): their placement
+  /// is "everywhere" and they never move. With num_buckets == 1 the plan
+  /// degenerates to a single unit holding the whole diff in scan order —
+  /// exactly the legacy quiesced schedule.
+  static MigrationPlan Diff(cc::Cluster* cluster,
+                            const partition::RecordPartitioner& target,
+                            uint32_t num_buckets);
+};
+
+}  // namespace chiller::migrate
+
+#endif  // CHILLER_MIGRATE_MIGRATION_PLAN_H_

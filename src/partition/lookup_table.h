@@ -5,8 +5,11 @@
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
+#include "migrate/relayout.h"
 
 namespace chiller::partition {
 
@@ -90,9 +93,23 @@ class LookupPartitioner : public RecordPartitioner {
 /// Mutable indirection for online repartitioning (paper Section 4.1's
 /// observe -> replan -> migrate loop): protocols hold a stable
 /// RecordPartitioner* for the lifetime of a run, while the runner swaps the
-/// delegate between execution phases. Swapping is only safe while the
-/// cluster is quiesced AND the physical placement has been migrated to
-/// match the new delegate — the runner's migrate phase owns that protocol.
+/// delegate between execution phases. Two swap modes:
+///
+///  - Swap(): whole-layout replacement. Only safe while the cluster is
+///    quiesced AND the physical placement has been migrated to match the
+///    new delegate — the runner's quiesced migrate phase owns that
+///    protocol.
+///  - BeginTransition() / FlipBucket() / FinishTransition(): per-bucket
+///    indirection for *live* migration (src/migrate). The incoming layout
+///    is staged next to the active one and records keep routing through
+///    the active layout until their relayout bucket (migrate::
+///    RelayoutBucketOf, the same bucket space the BucketLockTable guards)
+///    is flipped; the LiveMigrator flips each bucket in the same simulator
+///    event that completes its record moves, so routing and physical
+///    placement never disagree.
+///
+/// Every layout change bumps version() — the lookup-table version readers
+/// can use to invalidate cached placement decisions.
 class SwappablePartitioner : public RecordPartitioner {
  public:
   explicit SwappablePartitioner(std::unique_ptr<RecordPartitioner> initial)
@@ -103,20 +120,79 @@ class SwappablePartitioner : public RecordPartitioner {
   /// Installs `next` as the live layout and returns the previous one.
   std::unique_ptr<RecordPartitioner> Swap(
       std::unique_ptr<RecordPartitioner> next) {
+    CHILLER_CHECK(!in_transition())
+        << "whole-layout Swap during an incremental transition";
     active_.swap(next);
+    ++version_;
     return next;
   }
 
+  /// Stages `next` as the incoming layout of an incremental relayout over
+  /// `num_buckets` relayout buckets; no routing changes yet.
+  void BeginTransition(std::unique_ptr<RecordPartitioner> next,
+                       uint32_t num_buckets) {
+    CHILLER_CHECK(!in_transition()) << "transition already in flight";
+    CHILLER_CHECK(next != nullptr && num_buckets > 0);
+    next_ = std::move(next);
+    num_buckets_ = num_buckets;
+    flipped_.assign(num_buckets, false);
+    ++version_;
+  }
+
+  /// Routes bucket `b` through the incoming layout from now on (its
+  /// records' new physical placement just became live).
+  void FlipBucket(migrate::BucketId b) {
+    CHILLER_CHECK(in_transition()) << "FlipBucket outside a transition";
+    CHILLER_CHECK(b < num_buckets_ && !flipped_[b]);
+    flipped_[b] = true;
+    ++version_;
+  }
+
+  /// Collapses the indirection: the incoming layout becomes active for
+  /// every bucket (buckets that never flipped had no placement diffs) and
+  /// the retired layout is returned.
+  std::unique_ptr<RecordPartitioner> FinishTransition() {
+    CHILLER_CHECK(in_transition()) << "no transition to finish";
+    active_.swap(next_);
+    flipped_.clear();
+    num_buckets_ = 0;
+    ++version_;
+    return std::move(next_);
+  }
+
+  bool in_transition() const { return next_ != nullptr; }
+
+  /// Monotonic layout version, bumped by every Swap / BeginTransition /
+  /// FlipBucket / FinishTransition.
+  uint64_t version() const { return version_; }
+
   PartitionId PartitionOf(const RecordId& rid) const override {
-    return active_->PartitionOf(rid);
+    return Route(rid)->PartitionOf(rid);
   }
   bool IsHot(const RecordId& rid) const override {
-    return active_->IsHot(rid);
+    return Route(rid)->IsHot(rid);
   }
-  size_t LookupEntries() const override { return active_->LookupEntries(); }
+  /// During a transition both layouts are resident, so the lookup state
+  /// this scheme must store is the sum of the two tables.
+  size_t LookupEntries() const override {
+    return active_->LookupEntries() +
+           (in_transition() ? next_->LookupEntries() : 0);
+  }
 
  private:
+  const RecordPartitioner* Route(const RecordId& rid) const {
+    if (next_ != nullptr &&
+        flipped_[migrate::RelayoutBucketOf(rid, num_buckets_)]) {
+      return next_.get();
+    }
+    return active_.get();
+  }
+
   std::unique_ptr<RecordPartitioner> active_;
+  std::unique_ptr<RecordPartitioner> next_;
+  std::vector<bool> flipped_;
+  uint32_t num_buckets_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace chiller::partition

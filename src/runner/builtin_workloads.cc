@@ -26,36 +26,10 @@ namespace ycsb = chiller::workload::ycsb;
 // tpcc — one warehouse per engine, partitioned by warehouse (Figures 9/10)
 // ---------------------------------------------------------------------------
 
-class TpccBundle : public WorkloadBundle {
- public:
-  TpccBundle(tpcc::TpccWorkload::Options options, uint32_t partitions)
-      : workload_(options), partitioner_(partitions) {}
-
-  std::vector<storage::TableSpec> Schema() const override {
-    return tpcc::Schema();
-  }
-  const partition::RecordPartitioner* partitioner() const override {
-    return &partitioner_;
-  }
-  cc::WorkloadSource* source() override { return &workload_; }
-
-  void Load(cc::Cluster* cluster) const override {
-    tpcc::PopulateTpcc(
-        workload_.options().num_warehouses,
-        [&](const RecordId& rid, const storage::Record& rec) {
-          cluster->LoadRecord(rid, rec, partitioner_);
-        },
-        [&](const RecordId& rid, const storage::Record& rec) {
-          cluster->LoadEverywhere(rid, rec);
-        });
-  }
-
- private:
-  tpcc::TpccWorkload workload_;
-  tpcc::TpccPartitioner partitioner_;
-};
-
-StatusOr<std::unique_ptr<WorkloadBundle>> MakeTpcc(const ScenarioSpec& spec) {
+/// Shared TPC-C knob parsing for the tpcc and adaptive-tpcc factories
+/// (same option surface; only the layout differs).
+StatusOr<tpcc::TpccWorkload::Options> ParseTpccOptions(
+    const ScenarioSpec& spec) {
   const OptionMap& o = spec.options;
   Status st = o.ExpectOnly(
       {"num_warehouses", "remote_new_order_prob", "remote_payment_prob",
@@ -90,8 +64,50 @@ StatusOr<std::unique_ptr<WorkloadBundle>> MakeTpcc(const ScenarioSpec& spec) {
       100) {
     return Status::InvalidArgument("tpcc mix percentages must sum to 100");
   }
+  return w;
+}
+
+/// Shared initial-database load: partitioned tables through `partitioner`,
+/// ITEM replicated everywhere.
+void LoadTpccInto(cc::Cluster* cluster, uint32_t num_warehouses,
+                  const partition::RecordPartitioner& partitioner) {
+  tpcc::PopulateTpcc(
+      num_warehouses,
+      [&](const RecordId& rid, const storage::Record& rec) {
+        cluster->LoadRecord(rid, rec, partitioner);
+      },
+      [&](const RecordId& rid, const storage::Record& rec) {
+        cluster->LoadEverywhere(rid, rec);
+      });
+}
+
+class TpccBundle : public WorkloadBundle {
+ public:
+  TpccBundle(tpcc::TpccWorkload::Options options, uint32_t partitions)
+      : workload_(options), partitioner_(partitions) {}
+
+  std::vector<storage::TableSpec> Schema() const override {
+    return tpcc::Schema();
+  }
+  const partition::RecordPartitioner* partitioner() const override {
+    return &partitioner_;
+  }
+  cc::WorkloadSource* source() override { return &workload_; }
+
+  void Load(cc::Cluster* cluster) const override {
+    LoadTpccInto(cluster, workload_.options().num_warehouses, partitioner_);
+  }
+
+ private:
+  tpcc::TpccWorkload workload_;
+  tpcc::TpccPartitioner partitioner_;
+};
+
+StatusOr<std::unique_ptr<WorkloadBundle>> MakeTpcc(const ScenarioSpec& spec) {
+  auto w = ParseTpccOptions(spec);
+  if (!w.ok()) return w.status();
   return std::unique_ptr<WorkloadBundle>(
-      std::make_unique<TpccBundle>(w, spec.partitions()));
+      std::make_unique<TpccBundle>(w.value(), spec.partitions()));
 }
 
 // ---------------------------------------------------------------------------
@@ -341,6 +357,53 @@ StatusOr<std::unique_ptr<WorkloadBundle>> MakeAdaptive(
       std::make_unique<AdaptiveYcsbBundle>(w.value()));
 }
 
+// ---------------------------------------------------------------------------
+// adaptive-tpcc — TPC-C traffic on a hash-start layout the runner rebuilds
+// ---------------------------------------------------------------------------
+
+/// The multi-table migration scenario: full TPC-C traffic starts on a
+/// contention-oblivious record-hash layout (NOT the by-warehouse layout —
+/// warehouse affinity is exactly what the replan has to discover), and the
+/// swappable partitioner lets sample/replan/migrate phases or the
+/// continuous controller converge it. The replan's lookup fallback is the
+/// same record hash, so keys born mid-relayout (orders, order lines,
+/// history rows) place identically under the outgoing and incoming layouts
+/// — the invariant live migration relies on.
+class AdaptiveTpccBundle : public WorkloadBundle {
+ public:
+  AdaptiveTpccBundle(tpcc::TpccWorkload::Options options, uint32_t partitions)
+      : workload_(options),
+        swappable_(std::make_unique<partition::HashPartitioner>(partitions)) {
+  }
+
+  std::vector<storage::TableSpec> Schema() const override {
+    return tpcc::Schema();
+  }
+  const partition::RecordPartitioner* partitioner() const override {
+    return &swappable_;
+  }
+  partition::SwappablePartitioner* adaptive_partitioner() override {
+    return &swappable_;
+  }
+  cc::WorkloadSource* source() override { return &workload_; }
+
+  void Load(cc::Cluster* cluster) const override {
+    LoadTpccInto(cluster, workload_.options().num_warehouses, swappable_);
+  }
+
+ private:
+  tpcc::TpccWorkload workload_;
+  partition::SwappablePartitioner swappable_;
+};
+
+StatusOr<std::unique_ptr<WorkloadBundle>> MakeAdaptiveTpcc(
+    const ScenarioSpec& spec) {
+  auto w = ParseTpccOptions(spec);
+  if (!w.ok()) return w.status();
+  return std::unique_ptr<WorkloadBundle>(
+      std::make_unique<AdaptiveTpccBundle>(w.value(), spec.partitions()));
+}
+
 }  // namespace
 
 void RegisterBuiltinWorkloads(WorkloadRegistry* registry) {
@@ -350,6 +413,7 @@ void RegisterBuiltinWorkloads(WorkloadRegistry* registry) {
   must(registry->Register("flight", MakeFlight));
   must(registry->Register("ycsb", MakeYcsb));
   must(registry->Register("adaptive", MakeAdaptive));
+  must(registry->Register("adaptive-tpcc", MakeAdaptiveTpcc));
 }
 
 }  // namespace chiller::runner

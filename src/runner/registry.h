@@ -4,9 +4,10 @@
 // binary's worth of wiring: benches, tests, and examples resolve both axes
 // of an experiment by name, and --list-workloads / --list-protocols print
 // what a build supports. Global() instances come pre-loaded with the
-// built-ins (workloads: tpcc, instacart, flight, ycsb; protocols: 2pl,
-// occ, chiller, chiller-plain) and accept further Register() calls, e.g.
-// from out-of-tree experiment binaries.
+// built-ins (workloads: tpcc, instacart, flight, ycsb, plus the hash-start
+// adaptive family adaptive / adaptive-tpcc; protocols: 2pl, occ, chiller,
+// chiller-plain) and accept further Register() calls, e.g. from
+// out-of-tree experiment binaries.
 #ifndef CHILLER_RUNNER_REGISTRY_H_
 #define CHILLER_RUNNER_REGISTRY_H_
 

@@ -1,11 +1,17 @@
 #include "runner/runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <utility>
 
+#include "common/logging.h"
+
 #include "cc/load_model.h"
 #include "cc/migration.h"
+#include "migrate/adaptive_controller.h"
+#include "migrate/live_migrator.h"
+#include "migrate/migration_plan.h"
 #include "net/topology.h"
 #include "partition/chiller_partitioner.h"
 #include "partition/stats_collector.h"
@@ -24,10 +30,12 @@ Status ValidatePhases(const std::vector<Phase>& phases) {
   bool pending_replan = false;
   for (size_t i = 0; i < phases.size(); ++i) {
     const Phase& ph = phases[i];
-    if (pending_replan && ph.kind != PhaseKind::kMigrate) {
+    if (pending_replan && ph.kind != PhaseKind::kMigrate &&
+        ph.kind != PhaseKind::kLiveMigrate) {
       return Status::InvalidArgument(
-          "a replan phase must be followed immediately by a migrate phase "
-          "(the built layout is not live until records move)");
+          "a replan phase must be followed immediately by a migrate or "
+          "live-migrate phase (the built layout is not live until records "
+          "move)");
     }
     switch (ph.kind) {
       case PhaseKind::kWarmup:
@@ -54,6 +62,7 @@ Status ValidatePhases(const std::vector<Phase>& phases) {
         pending_replan = true;
         break;
       case PhaseKind::kMigrate:
+      case PhaseKind::kLiveMigrate:
         if (!pending_replan) {
           return Status::InvalidArgument(
               "a migrate phase needs an immediately preceding replan phase");
@@ -89,6 +98,34 @@ Status ScenarioRunner::Validate(const ScenarioSpec& spec) {
   Status lm_st = cc::ValidateLoadModelParams(spec.load_model,
                                              spec.MakeLoadModelParams());
   if (!lm_st.ok()) return lm_st;
+  if (spec.relayout_buckets == 0) {
+    return Status::InvalidArgument("relayout_buckets must be >= 1");
+  }
+  if (spec.migrate_batch_records == 0) {
+    return Status::InvalidArgument("migrate_batch_records must be >= 1");
+  }
+  if (spec.continuous) {
+    if (!spec.phases.empty()) {
+      return Status::InvalidArgument(
+          "continuous mode drives its own sample/replan/migrate loop; use "
+          "the legacy warmup/measure fields, not a phase plan");
+    }
+    if (spec.controller_period == 0) {
+      return Status::InvalidArgument("controller_period must be > 0");
+    }
+    if (spec.controller_sample_rate <= 0.0 ||
+        spec.controller_sample_rate > 1.0) {
+      return Status::InvalidArgument(
+          "controller_sample_rate must be in (0, 1]");
+    }
+    if (spec.controller_drift_threshold < 0.0) {
+      return Status::InvalidArgument(
+          "controller_drift_threshold must be >= 0");
+    }
+    if (spec.controller_hysteresis == 0) {
+      return Status::InvalidArgument("controller_hysteresis must be >= 1");
+    }
+  }
   if (spec.phases.empty()) {
     if (spec.measure == 0) {
       return Status::InvalidArgument("measurement window must be > 0");
@@ -146,6 +183,97 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
       rss_after > rss_before ? rss_after - rss_before : 0;
 
   cc::Driver* driver = env->driver.get();
+  sim::Simulator* sim = env->cluster->sim();
+
+  // Timeline recorder: timed work advances in timeline_slice steps and
+  // every slice's lifetime-counter deltas are appended (slicing RunUntil
+  // is free — the event sequence is identical).
+  std::vector<TimelineSlice>* timeline =
+      spec.timeline_slice > 0 ? &result.adaptive.timeline : nullptr;
+  auto push_slice = [&](SimTime t0, uint64_t c0, uint64_t l0) {
+    if (timeline == nullptr) return;
+    timeline->push_back(TimelineSlice{
+        .start = t0,
+        .end = sim->now(),
+        .commits = driver->lifetime_commits() - c0,
+        .latency_ns_sum = driver->lifetime_latency_ns() - l0});
+  };
+  auto advance_recorded = [&](SimTime duration) {
+    if (timeline == nullptr) {
+      driver->Advance(duration);
+      return;
+    }
+    SimTime left = duration;
+    while (left > 0) {
+      const SimTime step = std::min(spec.timeline_slice, left);
+      const SimTime t0 = sim->now();
+      const uint64_t c0 = driver->lifetime_commits();
+      const uint64_t l0 = driver->lifetime_latency_ns();
+      driver->Advance(step);
+      push_slice(t0, c0, l0);
+      left -= step;
+    }
+  };
+  auto finish = [&]() -> ScenarioResult {
+    result.stats = driver->stats();
+    driver->DrainAndStop();
+    result.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+    return std::move(result);
+  };
+
+  if (spec.continuous) {
+    // The measure window runs under the continuous adaptivity controller:
+    // sample -> replan -> live-migrate epochs interleaved with traffic.
+    partition::SwappablePartitioner* live =
+        env->bundle->adaptive_partitioner();
+    if (live == nullptr) {
+      return Status::FailedPrecondition(
+          "workload '" + spec.workload +
+          "' has a frozen layout; continuous mode needs an adaptive "
+          "workload (one whose bundle exposes a swappable partitioner)");
+    }
+    driver->Start();
+    advance_recorded(spec.warmup);
+    driver->ResetStats();
+    driver->set_measuring(true);
+
+    migrate::AdaptiveControllerOptions copts;
+    copts.period = spec.controller_period;
+    copts.sample_rate = spec.controller_sample_rate;
+    copts.drift_threshold = spec.controller_drift_threshold;
+    copts.hysteresis_epochs = spec.controller_hysteresis;
+    copts.lock_window_txns =
+        static_cast<double>(spec.concurrency) * spec.partitions();
+    copts.relayout_buckets = spec.relayout_buckets;
+    copts.migrator.batch_records = spec.migrate_batch_records;
+    copts.seed = spec.seed;
+    migrate::AdaptiveController controller(driver, env->cluster.get(),
+                                           env->repl.get(), live, copts);
+    auto advanced = controller.RunFor(
+        spec.measure, [&](SimTime d) { advance_recorded(d); });
+    if (!advanced.ok()) return advanced.status();
+    driver->set_measuring(false);
+    driver->set_measured_window(advanced.value());
+
+    const migrate::AdaptiveControllerReport& rep = controller.report();
+    result.adaptive.sampled_txns = rep.sampled_txns;
+    result.adaptive.lookup_entries = live->LookupEntries();
+    result.adaptive.migration.moved_records = rep.moved_records;
+    result.adaptive.migration.moved_bytes = rep.moved_bytes;
+    result.adaptive.migration.sim_time = rep.migration_sim_time;
+    result.adaptive.migration_start = rep.first_migration_start;
+    result.adaptive.migration_end = rep.last_migration_end;
+    result.adaptive.migration_window_commits = rep.window_commits;
+    result.adaptive.migration_window_aborts = rep.window_aborts;
+    result.adaptive.buckets_moved = rep.buckets_moved;
+    result.adaptive.controller_epochs = rep.epochs;
+    result.adaptive.controller_migrations = rep.migrations;
+    result.adaptive.controller_settled = rep.settled;
+    return finish();
+  }
+
   const std::vector<Phase> plan = spec.EffectivePhases();
 
   // Section 4.1 loop state, alive across phases: the sampling statistics
@@ -159,7 +287,7 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
   for (const Phase& ph : plan) {
     switch (ph.kind) {
       case PhaseKind::kWarmup:
-        driver->Advance(ph.duration);
+        advance_recorded(ph.duration);
         break;
 
       case PhaseKind::kSample: {
@@ -175,7 +303,7 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
         partition::StatsCollector* stats = collector.get();
         driver->SetCommitObserver(
             [stats](const txn::Transaction& t) { stats->Observe(t); });
-        driver->Advance(ph.duration);
+        advance_recorded(ph.duration);
         driver->SetCommitObserver(nullptr);
         result.adaptive.sampled_txns = collector->sampled_txns();
         break;
@@ -212,15 +340,79 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
         // Drain in-flight transactions, make the new layout live, move the
         // records to match it, then re-arm the closed loop. The swap and
         // the moves are invisible to execution: nothing runs in between.
-        driver->Quiesce();
+        // The drain is recorded as its own timeline slice so the
+        // stop-the-world window that follows is exactly the zero-commit
+        // migration pause.
+        {
+          const SimTime t0 = sim->now();
+          const uint64_t c0 = driver->lifetime_commits();
+          const uint64_t l0 = driver->lifetime_latency_ns();
+          driver->Quiesce();
+          push_slice(t0, c0, l0);
+        }
         partition::SwappablePartitioner* live =
             env->bundle->adaptive_partitioner();
         live->Swap(std::move(pending_layout));
+        // The layout no longer matches what the workload was written
+        // against: arm the protocols' layout-assumption checks (e.g.
+        // Chiller's co-location contract degrades to the fallback instead
+        // of CHECK-failing). Host-side only — the checks cannot fire on a
+        // quiesced swap's consistent placement, so results are unchanged.
+        env->cluster->bucket_locks()->NoteLayoutMutation();
+        const SimTime mig_t0 = sim->now();
+        const uint64_t mig_c0 = driver->lifetime_commits();
+        const uint64_t mig_l0 = driver->lifetime_latency_ns();
         auto migration =
             cc::MigrateToLayout(env->cluster.get(), env->repl.get(), *live);
         if (!migration.ok()) return migration.status();
         result.adaptive.migration = migration.value();
+        result.adaptive.migration_start = mig_t0;
+        result.adaptive.migration_end = sim->now();
+        result.adaptive.migration_window_commits =
+            driver->lifetime_commits() - mig_c0;
+        push_slice(mig_t0, mig_c0, mig_l0);
         driver->Resume();
+        break;
+      }
+
+      case PhaseKind::kLiveMigrate: {
+        // Incremental relayout under traffic (src/migrate): diff the
+        // physical placement against the replanned layout, then keep the
+        // driver advancing while the migrator walks the plan bucket by
+        // bucket. No quiesce, no resume — commits keep flowing.
+        partition::SwappablePartitioner* live =
+            env->bundle->adaptive_partitioner();
+        migrate::MigrationPlan mplan = migrate::MigrationPlan::Diff(
+            env->cluster.get(), *pending_layout, spec.relayout_buckets);
+        migrate::LiveMigratorOptions mopts;
+        mopts.batch_records = spec.migrate_batch_records;
+        migrate::LiveMigrator migrator(env->cluster.get(), env->repl.get(),
+                                       live, mopts);
+        const SimTime t0 = sim->now();
+        const uint64_t c0 = driver->lifetime_commits();
+        const uint64_t a0 = driver->lifetime_migration_aborts();
+        Status mst = migrator.Start(std::move(mplan),
+                                    std::move(pending_layout));
+        if (!mst.ok()) return mst;
+        const SimTime step = spec.timeline_slice > 0
+                                 ? spec.timeline_slice
+                                 : 100 * kMicrosecond;
+        uint64_t guard = 0;
+        while (!migrator.done()) {
+          advance_recorded(step);
+          CHILLER_CHECK(++guard < (1u << 20))
+              << "live migration did not settle";
+        }
+        result.adaptive.migration = migrator.stats().base;
+        result.adaptive.buckets_moved = migrator.stats().buckets_moved;
+        result.adaptive.migration_start = t0;
+        result.adaptive.migration_end = t0 + migrator.stats().base.sim_time;
+        // Window deltas include the tail of the slice in which the last
+        // bucket flipped (at most one slice of overshoot).
+        result.adaptive.migration_window_commits =
+            driver->lifetime_commits() - c0;
+        result.adaptive.migration_window_aborts =
+            driver->lifetime_migration_aborts() - a0;
         break;
       }
 
@@ -230,20 +422,14 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
           stats_reset = true;
         }
         driver->set_measuring(true);
-        driver->Advance(ph.duration);
+        advance_recorded(ph.duration);
         driver->set_measuring(false);
         measured += ph.duration;
         break;
     }
   }
   driver->set_measured_window(measured);
-  result.stats = driver->stats();
-  driver->DrainAndStop();
-
-  result.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - wall_start)
-                       .count();
-  return result;
+  return finish();
 }
 
 }  // namespace chiller::runner

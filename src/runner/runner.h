@@ -42,9 +42,12 @@ class ScenarioRunner {
 
   /// Wire() + the spec's phase plan + drain. The default plan is the
   /// classic warmup -> measure pair; adaptive plans interleave live stats
-  /// sampling, a layout replan, and a quiesced record migration (paper
-  /// Section 4.1's loop). The result is a pure function of the spec:
-  /// scenarios can run on any thread in any order.
+  /// sampling, a layout replan, and a record migration — quiesced
+  /// (Phase::Migrate) or incremental under traffic (Phase::LiveMigrate,
+  /// src/migrate). Continuous specs instead run the measure window under a
+  /// migrate::AdaptiveController (periodic sample -> replan -> live-migrate
+  /// epochs with drift gating and hysteresis). The result is a pure
+  /// function of the spec: scenarios can run on any thread in any order.
   static StatusOr<ScenarioResult> Run(const ScenarioSpec& spec);
 };
 

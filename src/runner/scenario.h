@@ -25,6 +25,10 @@ enum class PhaseKind : uint8_t {
   kSample,   ///< run the closed loop with a sampling StatsCollector attached
   kReplan,   ///< build a Chiller layout from the samples (no simulated time)
   kMigrate,  ///< quiesce, swap the live layout, physically move records
+  /// Live relayout (src/migrate): move records bucket-by-bucket while
+  /// traffic keeps flowing; transactions hitting an in-flight bucket
+  /// retry with the dedicated migration abort class.
+  kLiveMigrate,
   kMeasure,  ///< run the closed loop, count stats
 };
 
@@ -53,6 +57,7 @@ struct Phase {
     return {.kind = PhaseKind::kReplan, .hot_threshold = hot_threshold};
   }
   static Phase Migrate() { return {.kind = PhaseKind::kMigrate}; }
+  static Phase LiveMigrate() { return {.kind = PhaseKind::kLiveMigrate}; }
   static Phase Measure(SimTime d) {
     return {.kind = PhaseKind::kMeasure, .duration = d};
   }
@@ -109,6 +114,36 @@ struct ScenarioSpec {
   /// exposes an adaptive partitioner (e.g. the `adaptive` family).
   std::vector<Phase> phases;
 
+  // --- live relayout / continuous adaptivity (src/migrate) ----------------
+  /// Relayout bucket count for live-migrate phases and the continuous
+  /// controller: the granule of incremental migration (one bucket locked at
+  /// a time; everything else keeps flowing).
+  uint32_t relayout_buckets = 64;
+  /// Records per migration RPC batch (live path only).
+  uint32_t migrate_batch_records = 128;
+  /// Continuous mode: instead of a phase plan, the measure window runs
+  /// under a migrate::AdaptiveController that periodically samples,
+  /// replans, and live-migrates when workload drift exceeds the threshold
+  /// (with hysteresis). Requires an adaptive workload and an empty
+  /// `phases` vector (the controller owns the loop).
+  bool continuous = false;
+  /// Continuous mode: epoch length (one sample window + replan decision).
+  SimTime controller_period = 2 * kMillisecond;
+  /// Continuous mode: per-epoch commit sample rate, in (0, 1].
+  double controller_sample_rate = 1.0;
+  /// Continuous mode: drift above which a relayout starts — the relative
+  /// residual-contention improvement a replanned layout would deliver on
+  /// the epoch's traces (see migrate::AdaptiveControllerOptions).
+  double controller_drift_threshold = 0.1;
+  /// Continuous mode: consecutive calm epochs before the loop settles.
+  uint32_t controller_hysteresis = 2;
+  /// Throughput/latency timeline: when > 0, timed phases advance in slices
+  /// of this length and every slice's commit count and latency sum land in
+  /// AdaptiveReport::timeline (quiesced migration pauses show up as a
+  /// zero-commit slice). 0 = no timeline.
+  SimTime timeline_slice = 0;
+  // ------------------------------------------------------------------------
+
   /// Approximate peak resident bytes this scenario needs while loaded
   /// (cluster + replicas). 0 = unknown. SweepExecutor uses it to cap the
   /// scenarios loaded concurrently against a memory budget; see
@@ -139,6 +174,19 @@ struct ScenarioSpec {
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
 
+/// One timeline slice: commit flow over [start, end) of simulated time,
+/// from the driver's lifetime counters (measuring toggles do not affect
+/// it). latency_ns_sum / commits is the slice's mean commit latency.
+struct TimelineSlice {
+  SimTime start = 0;
+  SimTime end = 0;
+  uint64_t commits = 0;
+  uint64_t latency_ns_sum = 0;
+
+  friend bool operator==(const TimelineSlice&, const TimelineSlice&) =
+      default;
+};
+
 /// Adaptive-loop accounting for one scenario run: what the sampling service
 /// saw, what the replan decided, and what the migration cost. All zero for
 /// plans without sample/replan/migrate phases.
@@ -147,6 +195,28 @@ struct AdaptiveReport {
   size_t hot_records = 0;
   size_t lookup_entries = 0;
   cc::MigrationStats migration;
+
+  // Relayout window on the simulator clock (quiesced pause or live span;
+  // for continuous mode, the first relayout's start to the last one's end).
+  SimTime migration_start = 0;
+  SimTime migration_end = 0;
+  /// Commits that landed inside the window: 0 by construction for the
+  /// quiesced path, > 0 when live migration keeps traffic flowing.
+  /// Continuous mode counts at epoch granularity — up to one controller
+  /// period of post-relayout traffic rides along per relayout.
+  uint64_t migration_window_commits = 0;
+  /// Attempts aborted by the bucket gate inside the window.
+  uint64_t migration_window_aborts = 0;
+  /// Relayout buckets completed by the live path (0 for quiesced).
+  uint32_t buckets_moved = 0;
+
+  // Continuous-controller accounting (see migrate::AdaptiveController).
+  uint32_t controller_epochs = 0;
+  uint32_t controller_migrations = 0;
+  bool controller_settled = false;
+
+  /// Per-slice commit flow when ScenarioSpec::timeline_slice > 0.
+  std::vector<TimelineSlice> timeline;
 };
 
 /// Outcome of one scenario: the spec it ran plus the measurement-window

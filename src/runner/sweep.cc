@@ -1,5 +1,6 @@
 #include "runner/sweep.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
@@ -25,53 +26,84 @@ std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
   // wiring the scenario and releases it after. The "alone" clause (a
   // worker with nothing else in flight always proceeds) guarantees
   // progress for specs larger than the whole budget.
+  //
+  // The gate self-calibrates: each completed scenario's observed RSS
+  // growth (runner::CurrentRssBytes sampled across wiring + loading)
+  // updates an EWMA of actual/hint, and later reservations are scaled by
+  // it (clamped to [1/4, 4] — whole-process RSS over-counts under
+  // concurrency, so the correction is a trend, not an audit). Only the
+  // gate's admission changes; every scenario's results stay a pure
+  // function of its spec.
   std::mutex budget_mu;
   std::condition_variable budget_cv;
   uint64_t budget_in_use = 0;
+  double calibration = 1.0;
+  bool calibrated = false;
   const uint64_t budget = mem_budget_bytes_;
-  auto reserve = [&](uint64_t hint) {
-    if (budget == 0 || hint == 0) return;
-    std::unique_lock<std::mutex> lock(budget_mu);
-    budget_cv.wait(lock, [&] {
-      return budget_in_use == 0 || budget_in_use + hint <= budget;
-    });
-    budget_in_use += hint;
+  auto corrected = [&](uint64_t hint) -> uint64_t {
+    // Caller holds budget_mu.
+    return static_cast<uint64_t>(static_cast<double>(hint) * calibration);
   };
-  auto release = [&](uint64_t hint) {
+  auto reserve = [&](uint64_t hint) -> uint64_t {
+    if (budget == 0 || hint == 0) return 0;
+    std::unique_lock<std::mutex> lock(budget_mu);
+    uint64_t charge = 0;
+    budget_cv.wait(lock, [&] {
+      charge = corrected(hint);
+      return budget_in_use == 0 || budget_in_use + charge <= budget;
+    });
+    budget_in_use += charge;
+    return charge;
+  };
+  auto release = [&](uint64_t charge, uint64_t hint, uint64_t observed) {
     if (budget == 0 || hint == 0) return;
     {
       std::lock_guard<std::mutex> lock(budget_mu);
-      budget_in_use -= hint;
+      budget_in_use -= charge;
+      if (observed > 0) {
+        const double ratio = static_cast<double>(observed) /
+                             static_cast<double>(hint);
+        constexpr double kAlpha = 0.3;
+        calibration = calibrated
+                          ? (1.0 - kAlpha) * calibration + kAlpha * ratio
+                          : ratio;
+        calibration = std::clamp(calibration, 0.25, 4.0);
+        calibrated = true;
+      }
     }
     budget_cv.notify_all();
   };
 
   auto run_one = [&](size_t i) -> StatusOr<ScenarioResult> {
     const uint64_t hint = specs[i].footprint_hint;
-    reserve(hint);
+    const uint64_t charge = reserve(hint);
     StatusOr<ScenarioResult> result = ScenarioRunner::Run(specs[i]);
+    const uint64_t observed = result.ok() ? result->loaded_rss_delta : 0;
     if (budget != 0 && result.ok()) {
-      // Estimate-vs-actual calibration log for the budget gate. The delta
-      // was sampled inside ScenarioRunner::Run across wiring + loading,
-      // while the cluster was resident (here it is already torn down).
-      // Whole-process RSS still over-counts under concurrency, so this is
-      // a sanity bound, not a per-scenario audit — and it never affects
-      // scheduling.
+      // Estimate-vs-actual log for the self-calibrating gate: the static
+      // hint, the correction this reservation was charged at, and the RSS
+      // growth observed while this scenario's cluster was loading.
       constexpr double kMb = 1024.0 * 1024.0;
-      if (result->loaded_rss_delta == 0) {
+      if (observed == 0) {
         std::fprintf(stderr,
-                     "  [sweep] scenario %zu: footprint hint %.1f MB "
+                     "  [sweep] scenario %zu: footprint hint %.1f MB, "
+                     "charged %.1f MB "
                      "(RSS probe unavailable or no growth observed)\n",
-                     i, static_cast<double>(hint) / kMb);
+                     i, static_cast<double>(hint) / kMb,
+                     static_cast<double>(charge) / kMb);
       } else {
         std::fprintf(stderr,
                      "  [sweep] scenario %zu: footprint hint %.1f MB, "
-                     "loaded RSS delta %.1f MB\n",
+                     "charged %.1f MB, loaded RSS delta %.1f MB "
+                     "(gate calibration x%.2f)\n",
                      i, static_cast<double>(hint) / kMb,
-                     static_cast<double>(result->loaded_rss_delta) / kMb);
+                     static_cast<double>(charge) / kMb,
+                     static_cast<double>(observed) / kMb,
+                     static_cast<double>(observed) /
+                         static_cast<double>(hint));
       }
     }
-    release(hint);
+    release(charge, hint, observed);
     if (progress) {
       std::lock_guard<std::mutex> lock(progress_mu);
       progress(i, result);
@@ -99,7 +131,7 @@ uint64_t EstimateFootprint(const ScenarioSpec& spec) {
 
   uint64_t records = 0;
   uint64_t bytes_per_record = 0;
-  if (spec.workload == "tpcc") {
+  if (spec.workload == "tpcc" || spec.workload == "adaptive-tpcc") {
     // Dominated by STOCK (100k rows/warehouse) and CUSTOMER (30k).
     const uint64_t warehouses =
         spec.options.GetInt("num_warehouses", spec.partitions());

@@ -70,8 +70,12 @@ class SweepExecutor {
   /// scenarios (N concurrent TPC-C clusters multiply peak RSS). 0 =
   /// unlimited. A worker whose next spec would exceed the budget waits for
   /// in-flight scenarios to finish; a single spec over budget still runs,
-  /// alone. Specs with hint 0 (unknown) are never gated. Results are
-  /// unaffected — each scenario stays a pure function of its spec.
+  /// alone. Specs with hint 0 (unknown) are never gated. The gate
+  /// self-calibrates across the sweep: observed RSS growth per completed
+  /// scenario (CurrentRssBytes) feeds an EWMA of actual/hint that scales
+  /// later reservations (clamped; the applied correction is logged).
+  /// Results are unaffected — each scenario stays a pure function of its
+  /// spec.
   void set_mem_budget_bytes(uint64_t bytes) { mem_budget_bytes_ = bytes; }
   uint64_t mem_budget_bytes() const { return mem_budget_bytes_; }
 
@@ -100,10 +104,11 @@ uint64_t EstimateFootprint(const ScenarioSpec& spec);
 
 /// This process's current resident set in bytes, read from
 /// /proc/self/statm. Returns 0 where the probe is unavailable (non-Linux
-/// builds, restricted /proc). SweepExecutor logs it next to each scenario's
-/// footprint hint when the memory-budget gate is active, so the static
-/// EstimateFootprint numbers can be sanity-checked against reality
-/// (log-only; never feeds back into gating).
+/// builds, restricted /proc). When the memory-budget gate is active,
+/// SweepExecutor logs each scenario's observed RSS growth next to its
+/// footprint hint AND feeds the ratio back into the gate's calibration
+/// factor, so the static EstimateFootprint numbers self-correct across a
+/// sweep (scheduling only; results never depend on it).
 uint64_t CurrentRssBytes();
 
 }  // namespace chiller::runner

@@ -72,6 +72,18 @@ class Transaction {
   }
 
   Outcome outcome = Outcome::kPending;
+  /// Set when this attempt aborted because a live migration held the
+  /// relayout bucket of one of its records (or re-homed the record after
+  /// placement was resolved). The outcome stays kAbortConflict — the retry
+  /// machinery is identical — but the driver counts the attempt into the
+  /// dedicated migration abort class instead of the conflict class.
+  bool blocked_by_migration = false;
+  /// Set when a two-region attempt discovered at runtime that an op's
+  /// declared co-location does not hold under the live layout (possible
+  /// once online relayout replaces the layout the workload was written
+  /// against). Carried across retries: the rebuilt attempt runs the
+  /// fallback protocol instead of replanning the same broken inner region.
+  bool force_fallback = false;
   uint32_t attempt = 0;
   SimTime start_time = 0;
   SimTime end_time = 0;
