@@ -66,8 +66,7 @@ void Main(const BenchFlags& flags) {
   for (auto& spec : specs) {
     spec.footprint_hint = runner::EstimateFootprint(spec);
   }
-  runner::SweepExecutor executor(flags.jobs);
-  executor.set_mem_budget_bytes(flags.MemBudgetBytes());
+  runner::SweepExecutor executor = MakeSweepExecutor(flags, "ablation_reorder_vs_partition");
   auto results = executor.Run(specs);
 
   std::vector<double> tput;

@@ -76,6 +76,8 @@ std::string UsageString(const std::string& bench_name,
         " (default %u)\n"
         "  --jobs=N            sweep worker threads, 0 = all hardware threads"
         " (default %u)\n"
+        "  --shards=N          simulator shards per scenario; results are"
+        " byte-identical for any N (default %u)\n"
         "  --mem-budget-mb=N   cap summed footprint of concurrently-loaded"
         " scenarios, 0 = unlimited (default %llu)\n"
         "  --json=PATH         JSON report path (default BENCH_%s.json)\n"
@@ -87,7 +89,8 @@ std::string UsageString(const std::string& bench_name,
         d.engines, d.concurrency, d.warmup_ms, d.duration_ms, d.theta,
         static_cast<unsigned long long>(d.seed), d.load_model.c_str(),
         d.offered_tps, d.arrival.c_str(), d.queue_cap, d.batch_size, d.jobs,
-        static_cast<unsigned long long>(d.mem_budget_mb), bench_name.c_str());
+        d.shards, static_cast<unsigned long long>(d.mem_budget_mb),
+        bench_name.c_str());
   };
   const int needed = format(nullptr, 0);
   std::string out(static_cast<size_t>(needed) + 1, '\0');
@@ -155,6 +158,8 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
       st = ParseNumber(name, value, &out->batch_size);
     } else if (name == "jobs") {
       st = ParseNumber(name, value, &out->jobs);
+    } else if (name == "shards") {
+      st = ParseNumber(name, value, &out->shards);
     } else if (name == "mem-budget-mb") {
       st = ParseNumber(name, value, &out->mem_budget_mb);
     } else {
@@ -169,6 +174,9 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
   if (out->warmup_ms < 0 || out->duration_ms <= 0) {
     return Status::InvalidArgument(
         "--warmup-ms must be >= 0 and --duration-ms > 0");
+  }
+  if (out->shards == 0) {
+    return Status::InvalidArgument("--shards must be >= 1");
   }
   // Same validator and spec conversion the runner applies per scenario,
   // run here so a bad combination (--load-model=open without

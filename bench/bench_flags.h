@@ -17,6 +17,8 @@
 //   --queue-cap=N         open loop: per-engine admission queue bound
 //   --batch-size=N        batched: transactions admitted per engine batch
 //   --jobs=N              sweep worker threads (0 = all hardware threads)
+//   --shards=N            simulator shards per scenario (threads inside one
+//                         simulation; results byte-identical for any N)
 //   --mem-budget-mb=N     cap summed footprint of concurrently-loaded
 //                         scenarios (0 = unlimited)
 //   --json=PATH           where to write the machine-readable report
@@ -40,6 +42,7 @@
 
 #include "common/status.h"
 #include "runner/scenario.h"
+#include "runner/sweep.h"
 
 namespace chiller::bench {
 
@@ -63,6 +66,11 @@ struct BenchFlags {
   /// Sweep worker threads; 0 = one per hardware thread. Results are
   /// byte-identical for every value (see runner::SweepExecutor).
   uint32_t jobs = 1;
+  /// Simulator shards per scenario: real threads splitting one simulated
+  /// cluster's event space by node (see sim::ShardedSimulator). Orthogonal
+  /// to --jobs (threads across scenarios); results are byte-identical for
+  /// every value, only wall-clock changes.
+  uint32_t shards = 1;
   /// Memory budget for concurrently-loaded scenarios, MB; 0 = unlimited.
   /// High --jobs multiplies peak RSS (one loaded cluster per worker); the
   /// sweep keeps the summed footprint hints under this cap.
@@ -93,6 +101,22 @@ inline void ApplyLoadModelFlags(const BenchFlags& flags,
   spec->arrival = flags.arrival;
   spec->queue_cap = flags.queue_cap;
   spec->batch_size = flags.batch_size;
+  spec->shards = flags.shards;
+}
+
+/// Standard SweepExecutor wiring from the shared flags: worker count, the
+/// memory-budget gate, and the footprint-calibration cache persisted next
+/// to the bench's JSON report (so a repeat invocation starts from the
+/// EWMA factor the last run learned). Scheduling-only: results never
+/// depend on any of it.
+inline runner::SweepExecutor MakeSweepExecutor(
+    const BenchFlags& flags, const std::string& bench_name) {
+  runner::SweepExecutor executor(flags.jobs);
+  executor.set_mem_budget_bytes(flags.MemBudgetBytes());
+  executor.set_calibration_cache(
+      runner::FootprintCalibrationCache::PathNextTo(
+          flags.JsonPathFor(bench_name)));
+  return executor;
 }
 
 /// Guard for benches that never drive transactions through a load model

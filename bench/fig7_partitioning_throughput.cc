@@ -65,8 +65,7 @@ void Main(const BenchFlags& flags) {
   for (auto& spec : specs) {
     spec.footprint_hint = runner::EstimateFootprint(spec);
   }
-  runner::SweepExecutor executor(flags.jobs);
-  executor.set_mem_budget_bytes(flags.MemBudgetBytes());
+  runner::SweepExecutor executor = MakeSweepExecutor(flags, "fig7");
   size_t completed = 0;  // progress callbacks are serialized by the executor
   auto results = executor.Run(
       specs, [&](size_t i, const StatusOr<runner::ScenarioResult>& r) {

@@ -71,8 +71,7 @@ void Main(const BenchFlags& flags) {
     spec.footprint_hint = runner::EstimateFootprint(spec);
   }
   const auto wall_start = std::chrono::steady_clock::now();
-  runner::SweepExecutor executor(flags.jobs);
-  executor.set_mem_budget_bytes(flags.MemBudgetBytes());
+  runner::SweepExecutor executor = MakeSweepExecutor(flags, "fig9");
   size_t completed = 0;  // progress callbacks are serialized by the executor
   auto results = executor.Run(
       specs, [&](size_t i, const StatusOr<runner::ScenarioResult>& r) {
@@ -143,8 +142,9 @@ void Main(const BenchFlags& flags) {
            series(twopl, [](auto& p) { return p.abort_stock_level; }),
            "%8.3f");
 
-  std::printf("\nsweep: %zu scenarios in %.1f s wall-clock (--jobs %u)\n",
-              specs.size(), sweep_ms / 1000.0, executor.jobs());
+  std::printf("\nsweep: %zu scenarios in %.1f s wall-clock (--jobs %u, --shards %u)\n",
+              specs.size(), sweep_ms / 1000.0, executor.jobs(),
+              flags.shards);
 
   report.MaybeWrite(flags.emit_json, flags.JsonPathFor("fig9"));
 }

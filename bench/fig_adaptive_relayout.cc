@@ -94,8 +94,7 @@ void Main(const BenchFlags& flags) {
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  runner::SweepExecutor executor(flags.jobs);
-  executor.set_mem_budget_bytes(flags.MemBudgetBytes());
+  runner::SweepExecutor executor = MakeSweepExecutor(flags, "adaptive");
   size_t completed = 0;  // progress callbacks are serialized by the executor
   auto results = executor.Run(
       specs, [&](size_t i, const StatusOr<runner::ScenarioResult>& r) {
@@ -156,8 +155,9 @@ void Main(const BenchFlags& flags) {
   PrintRow("sampled txns", sampled, "%8.0f");
   PrintRow("records moved", moved, "%8.0f");
 
-  std::printf("\nsweep: %zu scenarios in %.1f s wall-clock (--jobs %u)\n",
-              specs.size(), sweep_ms / 1000.0, executor.jobs());
+  std::printf("\nsweep: %zu scenarios in %.1f s wall-clock (--jobs %u, --shards %u)\n",
+              specs.size(), sweep_ms / 1000.0, executor.jobs(),
+              flags.shards);
 
   report.MaybeWrite(flags.emit_json, flags.JsonPathFor("adaptive"));
 }

@@ -109,8 +109,7 @@ void Main(const BenchFlags& flags) {
   report.SetConfig("seed", flags.seed);
 
   const auto wall_start = std::chrono::steady_clock::now();
-  runner::SweepExecutor executor(flags.jobs);
-  executor.set_mem_budget_bytes(flags.MemBudgetBytes());
+  runner::SweepExecutor executor = MakeSweepExecutor(flags, "latency");
 
   // Stage 1: closed-loop capacity per protocol. The probe reuses the exact
   // Figure 9 configuration, so "1.0 x capacity" means "the throughput the
@@ -256,9 +255,9 @@ void Main(const BenchFlags& flags) {
     std::printf("  %-10s %8.3f\n", protocols[p].c_str(), knee[p] / 1e6);
   }
 
-  std::printf("\nsweep: %zu scenarios in %.1f s wall-clock (--jobs %u)\n",
+  std::printf("\nsweep: %zu scenarios in %.1f s wall-clock (--jobs %u, --shards %u)\n",
               probes.size() + specs.size(), sweep_ms / 1000.0,
-              executor.jobs());
+              executor.jobs(), flags.shards);
 
   report.MaybeWrite(flags.emit_json, flags.JsonPathFor("latency"));
 }

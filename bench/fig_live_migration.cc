@@ -110,8 +110,7 @@ void Main(const BenchFlags& flags) {
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  runner::SweepExecutor executor(flags.jobs);
-  executor.set_mem_budget_bytes(flags.MemBudgetBytes());
+  runner::SweepExecutor executor = MakeSweepExecutor(flags, "migration");
   size_t completed = 0;
   auto results = executor.Run(
       specs, [&](size_t i, const StatusOr<runner::ScenarioResult>& r) {
@@ -211,8 +210,9 @@ void Main(const BenchFlags& flags) {
       c.adaptive.controller_epochs, c.adaptive.controller_migrations,
       c.adaptive.controller_settled ? "settled" : "still adapting");
 
-  std::printf("\nsweep: %zu scenarios in %.1f s wall-clock (--jobs %u)\n",
-              specs.size(), sweep_ms / 1000.0, executor.jobs());
+  std::printf("\nsweep: %zu scenarios in %.1f s wall-clock (--jobs %u, --shards %u)\n",
+              specs.size(), sweep_ms / 1000.0, executor.jobs(),
+              flags.shards);
 
   report.MaybeWrite(flags.emit_json, flags.JsonPathFor("migration"));
 }

@@ -59,8 +59,7 @@ void Main(const BenchFlags& flags) {
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  runner::SweepExecutor executor(flags.jobs);
-  executor.set_mem_budget_bytes(flags.MemBudgetBytes());
+  runner::SweepExecutor executor = MakeSweepExecutor(flags, "ycsb");
   size_t completed = 0;  // progress callbacks are serialized by the executor
   auto results = executor.Run(
       specs, [&](size_t i, const StatusOr<runner::ScenarioResult>& r) {
@@ -109,8 +108,9 @@ void Main(const BenchFlags& flags) {
     std::printf("\n");
   }
 
-  std::printf("sweep: %zu scenarios in %.1f s wall-clock (--jobs %u)\n",
-              specs.size(), sweep_ms / 1000.0, executor.jobs());
+  std::printf("sweep: %zu scenarios in %.1f s wall-clock (--jobs %u, --shards %u)\n",
+              specs.size(), sweep_ms / 1000.0, executor.jobs(),
+              flags.shards);
 
   report.MaybeWrite(flags.emit_json, flags.JsonPathFor("ycsb"));
 }

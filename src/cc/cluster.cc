@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "sim/sharded_simulator.h"
+#include "sim/simulator.h"
 
 namespace chiller::cc {
 
@@ -10,17 +12,34 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   const net::Topology& topo = config_.topology;
   CHILLER_CHECK(topo.num_nodes >= topo.replication_degree)
       << "replicas must land on distinct nodes";
-  network_ = std::make_unique<net::Network>(&sim_, config_.network,
+  CHILLER_CHECK(config_.shards >= 1);
+  // Both implementations execute the canonical (time, domain, origin, seq)
+  // event order, so which one runs is purely a wall-clock choice.
+  if (config_.shards == 1) {
+    sim_ = std::make_unique<sim::Simulator>();
+  } else {
+    CHILLER_CHECK(config_.network.OneWay(0) > 0)
+        << "sharded execution needs a non-zero minimum network latency";
+    sim_ = std::make_unique<sim::ShardedSimulator>(
+        config_.shards, /*num_domains=*/topo.num_nodes + 1);
+  }
+  // The conservative lookahead: no cross-node message arrives sooner than
+  // this, which bounds how far shards may run ahead of each other. Set on
+  // the single-threaded simulator too so control-plane grid rounding — and
+  // therefore every result — is identical at any shard count.
+  sim_->set_lookahead(config_.network.OneWay(0));
+  network_ = std::make_unique<net::Network>(sim_.get(), config_.network,
                                             topo.num_nodes);
-  rdma_ = std::make_unique<net::RdmaFabric>(&sim_, network_.get(), topo);
-  rpc_ = std::make_unique<net::RpcLayer>(&sim_, network_.get(), topo);
+  rdma_ = std::make_unique<net::RdmaFabric>(sim_.get(), network_.get(), topo);
+  rpc_ = std::make_unique<net::RpcLayer>(sim_.get(), network_.get(), topo);
 
   const uint32_t n = topo.num_engines();
   engines_.reserve(n);
   primaries_.reserve(n);
   replica_stores_.resize(n);
   for (uint32_t e = 0; e < n; ++e) {
-    engines_.push_back(std::make_unique<Engine>(e, &sim_));
+    engines_.push_back(std::make_unique<Engine>(
+        e, sim_.get(), sim::DomainOfNode(topo.NodeOfEngine(e))));
     primaries_.push_back(
         std::make_unique<storage::PartitionStore>(e, config_.schema));
     engines_[e]->AttachPrimary(primaries_[e].get());

@@ -12,7 +12,7 @@
 #include "net/rpc.h"
 #include "net/topology.h"
 #include "partition/lookup_table.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "storage/partition_store.h"
 #include "storage/record.h"
 
@@ -39,6 +39,10 @@ struct ClusterConfig {
   net::NetworkConfig network;
   ExecCosts costs;
   std::vector<storage::TableSpec> schema;
+  /// Simulator shards: 1 runs the classic single-threaded event loop; > 1
+  /// runs the same event semantics across real threads (sim::
+  /// ShardedSimulator), byte-identical for any value.
+  uint32_t shards = 1;
 };
 
 /// Owns the simulator, fabric, engines and all partition stores (primaries
@@ -47,7 +51,10 @@ class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
 
-  sim::Simulator* sim() { return &sim_; }
+  /// The scheduling interface — deliberately not a concrete simulator, so
+  /// protocol code works unchanged whether events run on one thread or
+  /// many.
+  sim::Scheduler* sim() { return sim_.get(); }
   net::Network* network() { return network_.get(); }
   net::RdmaFabric* rdma() { return rdma_.get(); }
   net::RpcLayer* rpc() { return rpc_.get(); }
@@ -102,7 +109,7 @@ class Cluster {
  private:
   ClusterConfig config_;
   migrate::BucketLockTable bucket_locks_;
-  sim::Simulator sim_;
+  std::unique_ptr<sim::Scheduler> sim_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<net::RdmaFabric> rdma_;
   std::unique_ptr<net::RpcLayer> rpc_;

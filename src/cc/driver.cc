@@ -19,25 +19,29 @@ Driver::Driver(Cluster* cluster, Protocol* protocol, WorkloadSource* source,
       protocol_(protocol),
       source_(source),
       model_(std::move(model)),
-      rng_(seed) {
+      per_engine_(cluster->num_engines()) {
   CHILLER_CHECK(model_ != nullptr);
-  for (uint32_t c = 0; c < source_->NumClasses(); ++c) {
-    stats_.EnsureClass(c, source_->ClassName(c));
+  for (uint32_t e = 0; e < per_engine_.size(); ++e) {
+    per_engine_[e].rng.Seed(seed + 0x9e3779b97f4a7c15ULL * (e + 1));
   }
   model_->Bind(this);
-  stats_.open_loop = model_->UsesAdmissionQueue();
+  open_loop_ = model_->UsesAdmissionQueue();
 }
 
 Driver::~Driver() = default;
 
 void Driver::LaunchFresh(EngineId e, SimTime admission_delay) {
-  std::shared_ptr<txn::Transaction> t = source_->Next(e, &rng_);
+  std::shared_ptr<txn::Transaction> t = source_->Next(e, rng(e));
   t->admission_delay = admission_delay;
   Launch(e, std::move(t));
 }
 
 void Driver::Launch(EngineId e, std::shared_ptr<txn::Transaction> t) {
-  t->id = next_id_++;
+  EngineState& es = per_engine_[e];
+  // Globally unique and engine-local deterministic: engine e issues ids
+  // e+1, e+1+E, e+1+2E, ... regardless of how engines interleave.
+  t->id = es.next_local * per_engine_.size() + e + 1;
+  ++es.next_local;
   t->home = e;
   t->outcome = txn::Outcome::kPending;
   t->start_time = cluster_->sim()->now();
@@ -57,33 +61,34 @@ std::shared_ptr<txn::Transaction> Driver::RebuildForRetry(
   return retry;
 }
 
-void Driver::NoteAdmitted() {
-  if (measuring_) ++stats_.admitted;
+void Driver::NoteAdmitted(EngineId e) {
+  if (measuring_) ++per_engine_[e].stats.admitted;
 }
 
-void Driver::NoteShed() {
-  if (measuring_) ++stats_.shed;
+void Driver::NoteShed(EngineId e) {
+  if (measuring_) ++per_engine_[e].stats.shed;
 }
 
-void Driver::NoteQueueDelay(SimTime delay) {
-  if (measuring_) stats_.queue_delay.Add(delay);
+void Driver::NoteQueueDelay(EngineId e, SimTime delay) {
+  if (measuring_) per_engine_[e].stats.queue_delay.Add(delay);
 }
 
 void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
   if (observer_ && t->outcome == txn::Outcome::kCommitted) observer_(*t);
+  EngineState& es = per_engine_[e];
   // Lifetime counters run regardless of the measuring toggle: timeline
   // consumers (runner::AdaptiveReport slices, the live-migration bench)
   // need commit flow visible across warmup and migration windows too.
   if (t->outcome == txn::Outcome::kCommitted) {
-    ++lifetime_commits_;
-    lifetime_latency_ns_ += t->end_time - t->start_time;
+    ++es.commits;
+    es.latency_ns += t->end_time - t->start_time;
   } else if (t->outcome == txn::Outcome::kAbortConflict &&
              t->blocked_by_migration) {
-    ++lifetime_migration_aborts_;
+    ++es.migration_aborts;
   }
   if (measuring_) {
-    stats_.EnsureClass(t->txn_class, source_->ClassName(t->txn_class));
-    ClassStats& cs = stats_.classes[t->txn_class];
+    es.stats.EnsureClass(t->txn_class, source_->ClassName(t->txn_class));
+    ClassStats& cs = es.stats.classes[t->txn_class];
     switch (t->outcome) {
       case txn::Outcome::kCommitted:
         ++cs.commits;
@@ -107,6 +112,50 @@ void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
 
   if (stopped_) return;
   model_->OnSlotFree(e, *t);
+}
+
+const RunStats& Driver::stats() const {
+  merged_ = RunStats();
+  merged_.window = window_;
+  merged_.open_loop = open_loop_;
+  for (uint32_t c = 0; c < source_->NumClasses(); ++c) {
+    merged_.EnsureClass(c, source_->ClassName(c));
+  }
+  for (const EngineState& es : per_engine_) {
+    for (size_t c = 0; c < es.stats.classes.size(); ++c) {
+      const ClassStats& cs = es.stats.classes[c];
+      merged_.EnsureClass(static_cast<uint32_t>(c), cs.name);
+      ClassStats& m = merged_.classes[c];
+      m.commits += cs.commits;
+      m.conflict_aborts += cs.conflict_aborts;
+      m.user_aborts += cs.user_aborts;
+      m.migration_aborts += cs.migration_aborts;
+      m.distributed_commits += cs.distributed_commits;
+      m.latency.Merge(cs.latency);
+    }
+    merged_.admitted += es.stats.admitted;
+    merged_.shed += es.stats.shed;
+    merged_.queue_delay.Merge(es.stats.queue_delay);
+  }
+  return merged_;
+}
+
+uint64_t Driver::lifetime_commits() const {
+  uint64_t total = 0;
+  for (const EngineState& es : per_engine_) total += es.commits;
+  return total;
+}
+
+uint64_t Driver::lifetime_latency_ns() const {
+  uint64_t total = 0;
+  for (const EngineState& es : per_engine_) total += es.latency_ns;
+  return total;
+}
+
+uint64_t Driver::lifetime_migration_aborts() const {
+  uint64_t total = 0;
+  for (const EngineState& es : per_engine_) total += es.migration_aborts;
+  return total;
 }
 
 void Driver::Start() {
@@ -143,14 +192,9 @@ void Driver::SetCommitObserver(CommitObserver observer) {
 }
 
 void Driver::ResetStats() {
-  for (auto& cs : stats_.classes) {
-    ClassStats fresh;
-    fresh.name = cs.name;
-    cs = std::move(fresh);
+  for (EngineState& es : per_engine_) {
+    es.stats = RunStats();
   }
-  stats_.admitted = 0;
-  stats_.shed = 0;
-  stats_.queue_delay.Reset();
 }
 
 RunStats Driver::Run(SimTime warmup, SimTime measure) {
@@ -160,8 +204,8 @@ RunStats Driver::Run(SimTime warmup, SimTime measure) {
   measuring_ = true;
   Advance(measure);
   measuring_ = false;
-  stats_.window = measure;
-  return stats_;
+  window_ = measure;
+  return stats();
 }
 
 }  // namespace chiller::cc

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cc/protocol.h"
 #include "common/random.h"
@@ -89,7 +90,10 @@ class Driver {
   /// requests that were already admitted to a queue launch first.
   void Resume();
 
-  /// Installs (or, with nullptr, removes) the commit observer.
+  /// Installs (or, with nullptr, removes) the commit observer. The observer
+  /// runs in the committing transaction's home-engine context; under the
+  /// sharded simulator that means concurrently from several threads, so it
+  /// must shard its own state per engine (StatsCollector does).
   void SetCommitObserver(CommitObserver observer);
 
   /// Clears the per-class counters and the load-model accounting
@@ -101,27 +105,29 @@ class Driver {
   void set_measuring(bool measuring) { measuring_ = measuring; }
 
   /// Records the total measured window length into stats().
-  void set_measured_window(SimTime window) { stats_.window = window; }
+  void set_measured_window(SimTime window) { window_ = window; }
 
   /// Exact synonym of Quiesce(), kept for the classic Run() call sites
   /// (integration tests call this before checking storage invariants).
   /// There is deliberately no second drain path: this delegates.
   void DrainAndStop() { Quiesce(); }
 
-  const RunStats& stats() const { return stats_; }
+  /// Statistics of the current window, merged across the per-engine shards
+  /// (engine-ascending, so the result is identical for any simulator shard
+  /// count). Only call from outside the simulation or at control — it reads
+  /// every engine's counters.
+  const RunStats& stats() const;
 
   // Lifetime counters, independent of the measuring toggle and never
   // reset: timeline consumers diff them across slice boundaries to see
   // commit flow through warmup and migration windows that stats() does not
-  // cover.
+  // cover. Summed across engines on read (control-plane only).
   /// Committed transactions since construction.
-  uint64_t lifetime_commits() const { return lifetime_commits_; }
+  uint64_t lifetime_commits() const;
   /// Summed commit latency (end - start, ns) since construction.
-  uint64_t lifetime_latency_ns() const { return lifetime_latency_ns_; }
+  uint64_t lifetime_latency_ns() const;
   /// Attempts aborted by the live-migration bucket gate since construction.
-  uint64_t lifetime_migration_aborts() const {
-    return lifetime_migration_aborts_;
-  }
+  uint64_t lifetime_migration_aborts() const;
 
   /// The injected policy (never null).
   const LoadModel& load_model() const { return *model_; }
@@ -130,8 +136,10 @@ class Driver {
   // Called by LoadModel implementations; not meant for other callers.
 
   Cluster* cluster() { return cluster_; }
-  /// The workload RNG (transaction parameters, retry jitter).
-  Rng* rng() { return &rng_; }
+  /// Engine `e`'s workload RNG (transaction parameters, retry jitter). One
+  /// stream per engine keeps draws independent of how engines interleave —
+  /// the property the any-shard-count determinism rests on.
+  Rng* rng(EngineId e) { return &per_engine_[e].rng; }
   /// True between Quiesce() and Resume(): models must stop producing work.
   bool quiesced() const { return stopped_; }
 
@@ -149,32 +157,43 @@ class Driver {
   /// attempt + 1, admission delay carried over).
   std::shared_ptr<txn::Transaction> RebuildForRetry(const txn::Transaction& t);
 
-  /// Open-loop accounting, counted only while measuring: an arrival was
-  /// admitted (launched or queued) / shed at a full queue / a finished
-  /// request's admission-queue wait (committed or user-aborted — the wait
-  /// is a property of admission, not of outcome).
-  void NoteAdmitted();
-  void NoteShed();
-  void NoteQueueDelay(SimTime delay);
+  /// Open-loop accounting for engine `e`, counted only while measuring: an
+  /// arrival was admitted (launched or queued) / shed at a full queue / a
+  /// finished request's admission-queue wait (committed or user-aborted —
+  /// the wait is a property of admission, not of outcome).
+  void NoteAdmitted(EngineId e);
+  void NoteShed(EngineId e);
+  void NoteQueueDelay(EngineId e, SimTime delay);
   // ------------------------------------------------------------------------
 
  private:
+  /// Everything the driver mutates from engine `e`'s execution context.
+  /// Sharding by engine keeps all hot-path writes on the engine's simulator
+  /// shard; reads merge across engines and happen only at control. Padded
+  /// so engines on different shards never share a cache line here.
+  struct alignas(64) EngineState {
+    Rng rng{1};
+    TxnId next_local = 0;  ///< per-engine txn counter; global id derived
+    RunStats stats;
+    uint64_t commits = 0;
+    uint64_t latency_ns = 0;
+    uint64_t migration_aborts = 0;
+  };
+
   void OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t);
 
   Cluster* cluster_;
   Protocol* protocol_;
   WorkloadSource* source_;
   std::unique_ptr<LoadModel> model_;
-  Rng rng_;
-  RunStats stats_;
+  std::vector<EngineState> per_engine_;
+  mutable RunStats merged_;  ///< scratch for stats(); control-plane only
   CommitObserver observer_;
+  SimTime window_ = 0;
+  bool open_loop_ = false;
   bool measuring_ = false;
   bool started_ = false;
   bool stopped_ = false;
-  TxnId next_id_ = 1;
-  uint64_t lifetime_commits_ = 0;
-  uint64_t lifetime_latency_ns_ = 0;
-  uint64_t lifetime_migration_aborts_ = 0;
 };
 
 }  // namespace chiller::cc

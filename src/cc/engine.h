@@ -17,7 +17,11 @@ namespace chiller::cc {
 /// storage, remote storage reached via RDMA).
 class Engine {
  public:
-  Engine(EngineId id, sim::Simulator* sim) : id_(id), cpu_(sim) {}
+  /// `domain` is the event domain of the node hosting this engine; the CPU
+  /// schedules its completions there so all of a node's work stays on one
+  /// simulator shard.
+  Engine(EngineId id, sim::Scheduler* sim, sim::DomainId domain)
+      : id_(id), cpu_(sim, domain) {}
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;

@@ -15,11 +15,14 @@ void LoadModel::RetryAfterBackoff(EngineId e, const txn::Transaction& t) {
   const uint32_t shift = std::min<uint32_t>(t.attempt, 5);
   const SimTime backoff =
       (costs.retry_backoff_fixed << shift) +
-      d->rng()->Uniform(costs.retry_backoff_jitter << shift);
+      d->rng(e)->Uniform(costs.retry_backoff_jitter << shift);
   std::shared_ptr<txn::Transaction> retry = d->RebuildForRetry(t);
-  d->cluster()->sim()->Schedule(backoff, [d, e, retry]() {
-    d->Launch(e, retry);
-  });
+  // Explicitly target e's own domain: the relaunch belongs to the engine
+  // regardless of what context the slot was freed from.
+  sim::Scheduler* sim = d->cluster()->sim();
+  sim->ScheduleIn(
+      sim::DomainOfNode(d->cluster()->topology().NodeOfEngine(e)),
+      sim->now() + backoff, [d, e, retry]() { d->Launch(e, retry); });
 }
 
 // ---------------------------------------------------------------------------
@@ -95,8 +98,13 @@ void OpenLoop::ScheduleNextArrival(EngineId e) {
     gap = static_cast<SimTime>(
         std::llround(u * 2.0 * static_cast<double>(mean_interarrival_)));
   }
-  driver_->cluster()->sim()->Schedule(std::max<SimTime>(gap, 1),
-                                      [this, e]() { Arrive(e); });
+  // StartEngine arms this clock from control; later ticks re-arm it from
+  // the engine's own context. Target the engine's domain explicitly so both
+  // paths land the arrival in the same place.
+  sim::Scheduler* sim = driver_->cluster()->sim();
+  sim->ScheduleIn(
+      sim::DomainOfNode(driver_->cluster()->topology().NodeOfEngine(e)),
+      sim->now() + std::max<SimTime>(gap, 1), [this, e]() { Arrive(e); });
 }
 
 void OpenLoop::Arrive(EngineId e) {
@@ -106,13 +114,13 @@ void OpenLoop::Arrive(EngineId e) {
   EngineState& s = engines_[e];
   if (s.free_slots > 0) {
     --s.free_slots;
-    driver_->NoteAdmitted();
+    driver_->NoteAdmitted(e);
     driver_->LaunchFresh(e, /*admission_delay=*/0);
   } else if (s.queue.size() < opts_.queue_cap) {
-    driver_->NoteAdmitted();
+    driver_->NoteAdmitted(e);
     s.queue.push_back(driver_->cluster()->sim()->now());
   } else {
-    driver_->NoteShed();
+    driver_->NoteShed(e);
   }
   ScheduleNextArrival(e);
 }
@@ -133,7 +141,7 @@ void OpenLoop::OnSlotFree(EngineId e, const txn::Transaction& t) {
     RetryAfterBackoff(e, t);
     return;
   }
-  driver_->NoteQueueDelay(t.admission_delay);
+  driver_->NoteQueueDelay(e, t.admission_delay);
   EngineState& s = engines_[e];
   ++s.free_slots;
   if (!s.queue.empty()) AdmitFromQueue(e);

@@ -1,5 +1,6 @@
 #include "cc/migration.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <utility>
@@ -37,10 +38,12 @@ StatusOr<MigrationStats> MigrateToLayout(
 
   MigrationStats stats;
   const SimTime migrate_start = cluster->sim()->now();
-  uint32_t pending = 0;
+  // Atomic: the two completions of one pair decrement from different node
+  // domains (to_engine's and from_engine's), which under the sharded
+  // simulator are different threads. Only the post-Run() zero matters.
+  std::atomic<uint32_t> pending{0};
   auto done_one = [&pending]() {
-    CHILLER_CHECK(pending > 0);
-    --pending;
+    CHILLER_CHECK(pending.fetch_sub(1) > 0);
   };
 
   for (auto& [pair, rids] : moves) {

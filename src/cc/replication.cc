@@ -38,7 +38,7 @@ void ReplicationManager::Replicate(EngineId src_engine, PartitionId p,
     cluster_->sim()->Schedule(0, std::move(on_done));
     return;
   }
-  ++batches_sent_;
+  ++batches_sent_[cluster_->sim()->current_domain()];
 
   size_t bytes = 64;
   for (const auto& u : updates) bytes += 24 + u.image.wire_bytes();

@@ -3,6 +3,7 @@
 #define CHILLER_CC_REPLICATION_H_
 
 #include <functional>
+#include <numeric>
 #include <vector>
 
 #include "cc/cluster.h"
@@ -30,7 +31,9 @@ struct ReplUpdate {
 ///    net::Network guarantees.
 class ReplicationManager {
  public:
-  explicit ReplicationManager(Cluster* cluster) : cluster_(cluster) {}
+  explicit ReplicationManager(Cluster* cluster)
+      : cluster_(cluster),
+        batches_sent_(cluster->topology().num_nodes + 1u, 0) {}
 
   /// Sends `updates` of partition `p` from `src_engine` to each replica of
   /// `p`. Each replica applies the batch and acks `ack_engine`; `on_done`
@@ -40,14 +43,17 @@ class ReplicationManager {
                  std::vector<ReplUpdate> updates, EngineId ack_engine,
                  std::function<void()> on_done);
 
-  uint64_t batches_sent() const { return batches_sent_; }
+  uint64_t batches_sent() const {
+    return std::accumulate(batches_sent_.begin(), batches_sent_.end(),
+                           uint64_t{0});
+  }
 
  private:
   void ApplyAtReplica(storage::PartitionStore* store,
                       const std::vector<ReplUpdate>& updates);
 
   Cluster* cluster_;
-  uint64_t batches_sent_ = 0;
+  std::vector<uint64_t> batches_sent_;  // per event domain, summed on read
 };
 
 }  // namespace chiller::cc

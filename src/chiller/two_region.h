@@ -2,6 +2,7 @@
 #ifndef CHILLER_CHILLER_TWO_REGION_H_
 #define CHILLER_CHILLER_TWO_REGION_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -10,13 +11,16 @@
 namespace chiller::core {
 
 /// Per-protocol counters specific to two-region execution (tests and the
-/// ablation benches read these).
+/// ablation benches read these). Atomics because inner_aborts is bumped at
+/// the inner host's node while the others are bumped at the coordinator's —
+/// under the sharded simulator those are different threads. Relaxed
+/// increments: each field is an independent tally, read only at control.
 struct TwoRegionCounters {
-  uint64_t two_region_txns = 0;   ///< attempts planned as two-region
-  uint64_t fallback_txns = 0;     ///< attempts executed as plain 2PL
-  uint64_t inner_aborts = 0;      ///< inner region reported abort
-  uint64_t outer_aborts = 0;      ///< outer region lock conflict
-  uint64_t inner_local = 0;       ///< inner host == coordinator
+  std::atomic<uint64_t> two_region_txns{0};  ///< attempts planned two-region
+  std::atomic<uint64_t> fallback_txns{0};    ///< attempts run as plain 2PL
+  std::atomic<uint64_t> inner_aborts{0};     ///< inner region reported abort
+  std::atomic<uint64_t> outer_aborts{0};     ///< outer region lock conflict
+  std::atomic<uint64_t> inner_local{0};      ///< inner host == coordinator
 };
 
 /// The contention-centric execution protocol:

@@ -53,6 +53,10 @@ StatusOr<SimTime> AdaptiveController::RunFor(
         collector_ = std::make_unique<partition::StatsCollector>(
             opts_.sample_rate, opts_.seed);
         collector_->set_retain_traces(true);
+        // Commit observers fire from the committing engine's shard
+        // thread; per-engine shards keep the sampled stream independent
+        // of the simulator's shard count.
+        collector_->EnableEngineSharding(cluster_->num_engines());
       }
       partition::StatsCollector* stats = collector_.get();
       driver_->SetCommitObserver(

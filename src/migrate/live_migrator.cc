@@ -120,8 +120,16 @@ void LiveMigrator::LaunchBatches(size_t u) {
         cluster_->costs().replica_apply *
         static_cast<SimTime>(batch->moves.size());
     ++stats_.batches;
-    cluster_->rpc()->Send(from_engine, to_engine, batch->bytes, install_cost,
-                          [this, batch]() { TryCompleteBatch(batch); });
+    // The transfer itself rides the normal rpc path for cost realism, but
+    // the completion touches both partitions' stores, the bucket-lock
+    // table and the migrator's own state — control-plane work. Hop there
+    // on arrival; the control event lands at the next window boundary,
+    // where every engine is paused.
+    cluster_->rpc()->Send(
+        from_engine, to_engine, batch->bytes, install_cost, [this, batch]() {
+          cluster_->sim()->ScheduleControl(
+              0, [this, batch]() { TryCompleteBatch(batch); });
+        });
   }
 }
 
@@ -165,14 +173,15 @@ void LiveMigrator::TryCompleteBatch(std::shared_ptr<Batch> batch) {
       }
       if (froze_any) ++stats_.freezes;
     }
-    cluster_->sim()->Schedule(opts_.retry_interval,
-                              [this, batch]() { TryCompleteBatch(batch); });
+    cluster_->sim()->ScheduleControl(
+        opts_.retry_interval, [this, batch]() { TryCompleteBatch(batch); });
     return;
   }
 
   // Atomic move: extract + install every record of the batch inside this
-  // single simulator event. No other event can observe the intermediate
-  // state, so conservation and single residency hold at every instant.
+  // single control event (every engine paused). No other event can observe
+  // the intermediate state, so conservation and single residency hold at
+  // every instant.
   const PartitionId from = batch->moves.front().from;
   const PartitionId to = batch->moves.front().to;
   std::vector<cc::ReplUpdate> puts;
@@ -218,10 +227,16 @@ void LiveMigrator::TryCompleteBatch(std::shared_ptr<Batch> batch) {
     // the old primary's engine keeps them FIFO-behind any commit
     // replication still in flight from pre-lock transactions.
     unit_outstanding_ += 2;
-    repl_->Replicate(to_engine, to, std::move(puts), to_engine,
-                     [this, u]() { OnUnitEvent(u); });
+    // The acks land in the ack engines' domains; OnUnitEvent mutates
+    // migrator state and may flip the bucket, so bounce it to control.
+    repl_->Replicate(to_engine, to, std::move(puts), to_engine, [this, u]() {
+      cluster_->sim()->ScheduleControl(0, [this, u]() { OnUnitEvent(u); });
+    });
     repl_->Replicate(from_engine, from, std::move(erases), from_engine,
-                     [this, u]() { OnUnitEvent(u); });
+                     [this, u]() {
+                       cluster_->sim()->ScheduleControl(
+                           0, [this, u]() { OnUnitEvent(u); });
+                     });
   }
   OnUnitEvent(u);  // the batch itself has landed
 }

@@ -7,24 +7,28 @@
 
 namespace chiller::net {
 
-Network::Network(sim::Simulator* sim, NetworkConfig config, uint32_t num_nodes)
+Network::Network(sim::Scheduler* sim, NetworkConfig config, uint32_t num_nodes)
     : sim_(sim),
       config_(config),
       num_nodes_(num_nodes),
-      last_delivery_(static_cast<size_t>(num_nodes) * num_nodes, 0) {}
+      last_delivery_(static_cast<size_t>(num_nodes) * num_nodes, 0),
+      messages_sent_(num_nodes + 1u, 0),
+      bytes_sent_(num_nodes + 1u, 0) {}
 
 void Network::Deliver(NodeId src, NodeId dst, size_t bytes,
                       std::function<void()> fn) {
   CHILLER_DCHECK(src < num_nodes_ && dst < num_nodes_);
-  ++messages_sent_;
-  bytes_sent_ += bytes;
+  const sim::DomainId ctx = sim_->current_domain();
+  ++messages_sent_[ctx];
+  bytes_sent_[ctx] += bytes;
   SimTime arrival = sim_->now() + config_.OneWay(bytes);
   // Enforce FIFO per queue pair: a message never overtakes an earlier one on
-  // the same (src, dst) connection.
+  // the same (src, dst) connection. The horizon slot is only ever touched
+  // from src's own domain (or at control), so it needs no synchronization.
   SimTime& horizon = last_delivery_[static_cast<size_t>(src) * num_nodes_ + dst];
   arrival = std::max(arrival, horizon);
   horizon = arrival;
-  sim_->ScheduleAt(arrival, std::move(fn));
+  sim_->ScheduleIn(sim::DomainOfNode(dst), arrival, std::move(fn));
 }
 
 }  // namespace chiller::net

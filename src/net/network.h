@@ -4,10 +4,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <numeric>
 #include <vector>
 
 #include "common/types.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace chiller::net {
 
@@ -39,26 +40,41 @@ struct NetworkConfig {
 /// FIFO, mirroring RDMA's reliable-connection queue-pair semantics; the
 /// inner-region replication protocol of paper Section 5 depends on this
 /// guarantee, and tests assert it.
+///
+/// The minimum one-way latency (OneWay(0)) doubles as the sharded
+/// simulator's conservative lookahead: every Deliver lands in a later
+/// window than it was sent from, and it lands *in the destination node's
+/// event domain* — the fabric is where execution crosses shards.
 class Network {
  public:
-  Network(sim::Simulator* sim, NetworkConfig config, uint32_t num_nodes);
+  Network(sim::Scheduler* sim, NetworkConfig config, uint32_t num_nodes);
 
   /// Delivers `fn` at the destination after the modeled latency. `fn` runs
-  /// at arrival time; what it costs at the destination (engine CPU vs. NIC
-  /// bypass) is the caller's concern (see RdmaFabric / RpcLayer).
+  /// at arrival time in dst's event domain; what it costs at the
+  /// destination (engine CPU vs. NIC bypass) is the caller's concern (see
+  /// RdmaFabric / RpcLayer).
   void Deliver(NodeId src, NodeId dst, size_t bytes, std::function<void()> fn);
 
   const NetworkConfig& config() const { return config_; }
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint64_t messages_sent() const {
+    return std::accumulate(messages_sent_.begin(), messages_sent_.end(),
+                           uint64_t{0});
+  }
+  uint64_t bytes_sent() const {
+    return std::accumulate(bytes_sent_.begin(), bytes_sent_.end(),
+                           uint64_t{0});
+  }
 
  private:
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   NetworkConfig config_;
   uint32_t num_nodes_;
   std::vector<SimTime> last_delivery_;  // per (src, dst) FIFO horizon
-  uint64_t messages_sent_ = 0;
-  uint64_t bytes_sent_ = 0;
+  // Counters are kept per event domain (writes stay thread-local under the
+  // sharded simulator) and summed on read, which only happens at control.
+  std::vector<uint64_t> messages_sent_;
+  std::vector<uint64_t> bytes_sent_;
 };
 
 }  // namespace chiller::net

@@ -8,7 +8,7 @@ void RdmaFabric::OneSided(NodeId src, NodeId dst, size_t req_bytes,
                           size_t resp_bytes, std::function<void()> remote_op,
                           std::function<void()> completion,
                           sim::CpuResource* initiator_cpu) {
-  ++ops_issued_;
+  ++ops_issued_[sim_->current_domain()];
   auto issue = [this, src, dst, req_bytes, resp_bytes,
                 remote_op = std::move(remote_op),
                 completion = std::move(completion)]() mutable {

@@ -3,6 +3,8 @@
 #define CHILLER_NET_RDMA_H_
 
 #include <functional>
+#include <numeric>
+#include <vector>
 
 #include "net/network.h"
 #include "net/topology.h"
@@ -22,8 +24,11 @@ namespace chiller::net {
 /// lock-word CAS semantics under concurrency.
 class RdmaFabric {
  public:
-  RdmaFabric(sim::Simulator* sim, Network* network, const Topology& topology)
-      : sim_(sim), network_(network), topology_(topology) {}
+  RdmaFabric(sim::Scheduler* sim, Network* network, const Topology& topology)
+      : sim_(sim),
+        network_(network),
+        topology_(topology),
+        ops_issued_(topology.num_nodes + 1u, 0) {}
 
   /// Issues a one-sided operation from `src` to `dst` node.
   ///  - `req_bytes` / `resp_bytes`: payload sizes for the latency model.
@@ -36,15 +41,18 @@ class RdmaFabric {
                 std::function<void()> completion,
                 sim::CpuResource* initiator_cpu = nullptr);
 
-  uint64_t ops_issued() const { return ops_issued_; }
+  uint64_t ops_issued() const {
+    return std::accumulate(ops_issued_.begin(), ops_issued_.end(),
+                           uint64_t{0});
+  }
 
   const Topology& topology() const { return topology_; }
 
  private:
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   Network* network_;
   Topology topology_;
-  uint64_t ops_issued_ = 0;
+  std::vector<uint64_t> ops_issued_;  // per event domain, summed on read
 };
 
 }  // namespace chiller::net

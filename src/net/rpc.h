@@ -3,6 +3,7 @@
 #define CHILLER_NET_RPC_H_
 
 #include <functional>
+#include <numeric>
 #include <vector>
 
 #include "net/network.h"
@@ -17,8 +18,11 @@ namespace chiller::net {
 /// streams (Section 5).
 class RpcLayer {
  public:
-  RpcLayer(sim::Simulator* sim, Network* network, Topology topology)
-      : sim_(sim), network_(network), topology_(std::move(topology)) {}
+  RpcLayer(sim::Scheduler* sim, Network* network, Topology topology)
+      : sim_(sim),
+        network_(network),
+        topology_(std::move(topology)),
+        rpcs_sent_(topology_.num_nodes + 1u, 0) {}
 
   /// Registers the CPU of each engine; index = EngineId. Must be called once
   /// before Send.
@@ -31,15 +35,17 @@ class RpcLayer {
   void Send(EngineId src_engine, EngineId dst_engine, size_t bytes,
             SimTime service_cost, std::function<void()> handler);
 
-  uint64_t rpcs_sent() const { return rpcs_sent_; }
+  uint64_t rpcs_sent() const {
+    return std::accumulate(rpcs_sent_.begin(), rpcs_sent_.end(), uint64_t{0});
+  }
   const Topology& topology() const { return topology_; }
 
  private:
-  sim::Simulator* sim_;
+  sim::Scheduler* sim_;
   Network* network_;
   Topology topology_;
   std::vector<sim::CpuResource*> engine_cpus_;
-  uint64_t rpcs_sent_ = 0;
+  std::vector<uint64_t> rpcs_sent_;  // per event domain, summed on read
 };
 
 }  // namespace chiller::net

@@ -93,6 +93,9 @@ Status ScenarioRunner::Validate(const ScenarioSpec& spec) {
   if (spec.concurrency == 0) {
     return Status::InvalidArgument("concurrency must be >= 1");
   }
+  if (spec.shards == 0) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
   // One source of truth for load-model validity (also what Wire() builds
   // with), run here so a bad spec fails before any data is loaded.
   Status lm_st = cc::ValidateLoadModelParams(spec.load_model,
@@ -150,6 +153,7 @@ StatusOr<ScenarioEnv> ScenarioRunner::Wire(const ScenarioSpec& spec) {
                                .engines_per_node = spec.engines_per_node,
                                .replication_degree = spec.replication_degree};
   cfg.schema = env.bundle->Schema();
+  cfg.shards = spec.shards;
   env.cluster = std::make_unique<cc::Cluster>(cfg);
   env.bundle->Load(env.cluster.get());
 
@@ -183,7 +187,7 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
       rss_after > rss_before ? rss_after - rss_before : 0;
 
   cc::Driver* driver = env->driver.get();
-  sim::Simulator* sim = env->cluster->sim();
+  sim::Scheduler* sim = env->cluster->sim();
 
   // Timeline recorder: timed work advances in timeline_slice steps and
   // every slice's lifetime-counter deltas are appended (slicing RunUntil
@@ -295,6 +299,10 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
           collector = std::make_unique<partition::StatsCollector>(
               ph.sample_rate, spec.seed);
           collector->set_retain_traces(true);
+          // Commit observers fire from the committing engine's shard
+          // thread; per-engine shards keep the sampling stream (and thus
+          // the traces) independent of the simulator's shard count.
+          collector->EnableEngineSharding(env->cluster->num_engines());
         } else {
           // A later sample phase accumulates into the same collector (the
           // service's view of the workload only grows) at its own rate.

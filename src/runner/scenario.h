@@ -104,6 +104,12 @@ struct ScenarioSpec {
   /// Base RNG seed: the whole scenario is a pure function of the spec.
   uint64_t seed = 1;
 
+  /// Simulator shards: real threads running the scenario's event space
+  /// (partitioned by node). Results are byte-identical for any value — the
+  /// knob only trades wall-clock time for cores, which is why it is NOT
+  /// part of the result identity (reports never emit it).
+  uint32_t shards = 1;
+
   SimTime warmup = 3 * kMillisecond;
   SimTime measure = 15 * kMillisecond;
 

@@ -1,6 +1,7 @@
 #include "runner/sweep.h"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
@@ -16,6 +17,49 @@ uint32_t ResolveJobs(uint32_t jobs) {
   if (jobs != 0) return jobs;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<uint32_t>(hw);
+}
+
+double FootprintCalibrationCache::Clamp(double factor) {
+  if (!std::isfinite(factor)) return 1.0;
+  return std::clamp(factor, kMinFactor, kMaxFactor);
+}
+
+bool FootprintCalibrationCache::Load(const std::string& path,
+                                     double* factor) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  double stored = 0.0;
+  const int parsed = std::fscanf(f, "chiller-footprint-cache v1 %lf",
+                                 &stored);
+  std::fclose(f);
+  if (parsed != 1 || !std::isfinite(stored)) return false;
+  *factor = Clamp(stored);
+  return true;
+}
+
+bool FootprintCalibrationCache::Save(const std::string& path, double factor) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const int written = std::fprintf(f, "chiller-footprint-cache v1 %.17g\n",
+                                   Clamp(factor));
+  return std::fclose(f) == 0 && written > 0;
+}
+
+std::string FootprintCalibrationCache::PathNextTo(
+    const std::string& report_path) {
+  constexpr const char* kName = ".chiller_footprint_cache";
+  const size_t slash = report_path.find_last_of('/');
+  if (slash == std::string::npos) return kName;
+  return report_path.substr(0, slash + 1) + kName;
+}
+
+uint32_t SweepExecutor::EffectiveJobs(
+    const std::vector<ScenarioSpec>& specs) const {
+  uint32_t max_shards = 1;
+  for (const ScenarioSpec& s : specs) {
+    max_shards = std::max(max_shards, std::max<uint32_t>(s.shards, 1));
+  }
+  return std::max<uint32_t>(1, jobs_ / max_shards);
 }
 
 std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
@@ -40,6 +84,14 @@ std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
   double calibration = 1.0;
   bool calibrated = false;
   const uint64_t budget = mem_budget_bytes_;
+  if (!calibration_cache_.empty() &&
+      FootprintCalibrationCache::Load(calibration_cache_, &calibration)) {
+    calibrated = true;
+    std::fprintf(stderr,
+                 "  [sweep] footprint gate calibration x%.2f loaded from "
+                 "%s\n",
+                 calibration, calibration_cache_.c_str());
+  }
   auto corrected = [&](uint64_t hint) -> uint64_t {
     // Caller holds budget_mu.
     return static_cast<uint64_t>(static_cast<double>(hint) * calibration);
@@ -67,7 +119,7 @@ std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
         calibration = calibrated
                           ? (1.0 - kAlpha) * calibration + kAlpha * ratio
                           : ratio;
-        calibration = std::clamp(calibration, 0.25, 4.0);
+        calibration = FootprintCalibrationCache::Clamp(calibration);
         calibrated = true;
       }
     }
@@ -110,13 +162,31 @@ std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
     }
     return result;
   };
+  // Sharded specs occupy several cores each; shrink the worker pool so
+  // jobs x shards stays at the machine scale the user asked for.
+  const uint32_t workers = EffectiveJobs(specs);
+  if (workers != jobs_) {
+    std::fprintf(stderr,
+                 "  [sweep] sharded scenarios in the grid: running %u "
+                 "sweep worker(s) instead of %u so jobs x shards does not "
+                 "oversubscribe\n",
+                 workers, jobs_);
+  }
   // ParallelMap needs default-constructed slots; StatusOr has no default
   // state, so map into optionals and unwrap after the barrier.
   auto slots = ParallelMap(
-      jobs_, specs.size(),
+      workers, specs.size(),
       [&](size_t i) -> std::optional<StatusOr<ScenarioResult>> {
         return run_one(i);
       });
+  if (!calibration_cache_.empty() && calibrated) {
+    if (!FootprintCalibrationCache::Save(calibration_cache_, calibration)) {
+      std::fprintf(stderr,
+                   "  [sweep] could not persist footprint calibration to "
+                   "%s\n",
+                   calibration_cache_.c_str());
+    }
+  }
   std::vector<StatusOr<ScenarioResult>> results;
   results.reserve(slots.size());
   for (auto& slot : slots) results.push_back(std::move(*slot));

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -59,12 +60,48 @@ auto ParallelMap(uint32_t jobs, size_t n, Fn&& fn)
   return results;
 }
 
+/// Persists the footprint gate's learned EWMA actual/hint factor across
+/// bench invocations, so a second run of the same binary starts from the
+/// calibration the first one converged to instead of re-learning from the
+/// static estimates. The file lives next to the bench report
+/// (`.chiller_footprint_cache`) and holds a single clamped factor.
+/// Scheduling-only state: results never depend on it.
+struct FootprintCalibrationCache {
+  /// The gate's clamp bounds — whole-process RSS over-counts under
+  /// concurrency, so the correction is held to a trend, not an audit.
+  static constexpr double kMinFactor = 0.25;
+  static constexpr double kMaxFactor = 4.0;
+
+  static double Clamp(double factor);
+
+  /// Reads the stored factor into `*factor` (clamped). Returns false — and
+  /// leaves `*factor` untouched — when the file is missing, unreadable, or
+  /// not a finite number.
+  static bool Load(const std::string& path, double* factor);
+
+  /// Writes the (clamped) factor. Returns false on I/O failure; callers
+  /// treat that as best-effort (a lost cache only costs re-learning).
+  static bool Save(const std::string& path, double factor);
+
+  /// The conventional cache location for a bench report:
+  /// `<report dir>/.chiller_footprint_cache`.
+  static std::string PathNextTo(const std::string& report_path);
+};
+
 class SweepExecutor {
  public:
   /// `jobs`: worker threads; 0 = one per hardware thread.
   explicit SweepExecutor(uint32_t jobs = 1) : jobs_(ResolveJobs(jobs)) {}
 
   uint32_t jobs() const { return jobs_; }
+
+  /// When set, the memory-budget gate seeds its EWMA calibration from this
+  /// file before the sweep and persists the converged factor after it
+  /// (see FootprintCalibrationCache). Empty = in-process learning only.
+  void set_calibration_cache(std::string path) {
+    calibration_cache_ = std::move(path);
+  }
+  const std::string& calibration_cache() const { return calibration_cache_; }
 
   /// Caps the summed ScenarioSpec::footprint_hint of concurrently-running
   /// scenarios (N concurrent TPC-C clusters multiply peak RSS). 0 =
@@ -91,9 +128,16 @@ class SweepExecutor {
       const std::vector<ScenarioSpec>& specs,
       const ProgressFn& progress = nullptr) const;
 
+  /// Worker threads actually used for `specs`: `jobs`, scaled down when the
+  /// specs themselves run sharded simulators (each scenario at shards = S
+  /// occupies S cores, so jobs x S would oversubscribe the machine). At
+  /// least 1; scheduling-only — per-spec results are identical either way.
+  uint32_t EffectiveJobs(const std::vector<ScenarioSpec>& specs) const;
+
  private:
   uint32_t jobs_;
   uint64_t mem_budget_bytes_ = 0;
+  std::string calibration_cache_;
 };
 
 /// Rough peak resident bytes for one wired scenario (primary + replica

@@ -10,7 +10,7 @@ void CpuResource::Submit(SimTime cost, std::function<void()> fn) {
   const SimTime end = start + cost;
   busy_until_ = end;
   total_busy_ += cost;
-  sim_->ScheduleAt(end, std::move(fn));
+  sim_->ScheduleIn(domain_, end, std::move(fn));
 }
 
 double CpuResource::Utilization() const {

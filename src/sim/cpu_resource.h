@@ -5,7 +5,7 @@
 #include <functional>
 
 #include "common/types.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace chiller::sim {
 
@@ -17,9 +17,14 @@ namespace chiller::sim {
 ///   - the engine is never idle while work is pending (co-routine model), and
 ///   - throughput saturates once offered work exceeds core capacity
 ///     (the Figure 9a plateau at ~4 concurrent transactions).
+///
+/// The core lives in one event domain (its node's); completions are
+/// scheduled there so the sharded simulator keeps all of a node's CPU state
+/// on one thread.
 class CpuResource {
  public:
-  explicit CpuResource(Simulator* sim) : sim_(sim) {}
+  explicit CpuResource(Scheduler* sim, DomainId domain = kControlDomain)
+      : sim_(sim), domain_(domain) {}
 
   /// Enqueues work consuming `cost` CPU-ns; `fn` runs at completion time.
   void Submit(SimTime cost, std::function<void()> fn);
@@ -34,7 +39,8 @@ class CpuResource {
   double Utilization() const;
 
  private:
-  Simulator* sim_;
+  Scheduler* sim_;
+  DomainId domain_;
   SimTime busy_until_ = 0;
   SimTime total_busy_ = 0;
 };

@@ -7,6 +7,11 @@
 namespace chiller::sim {
 
 void EventQueue::Push(SimTime time, std::function<void()> fn) {
+  Push(time, 0, 0, next_seq_++, std::move(fn));
+}
+
+void EventQueue::Push(SimTime time, uint32_t domain, uint32_t origin,
+                      uint64_t seq, std::function<void()> fn) {
   size_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -16,7 +21,7 @@ void EventQueue::Push(SimTime time, std::function<void()> fn) {
     slot = fns_.size();
     fns_.push_back(std::move(fn));
   }
-  heap_.push(Entry{time, next_seq_++, slot});
+  heap_.push(Entry{time, domain, origin, seq, slot});
 }
 
 SimTime EventQueue::NextTime() const {
@@ -27,7 +32,8 @@ Event EventQueue::Pop() {
   CHILLER_CHECK(!heap_.empty());
   const Entry top = heap_.top();
   heap_.pop();
-  Event e{top.time, top.seq, std::move(fns_[top.slot])};
+  Event e{top.time, top.domain, top.origin, top.seq,
+          std::move(fns_[top.slot])};
   fns_[top.slot] = nullptr;
   free_slots_.push_back(top.slot);
   return e;

@@ -11,20 +11,34 @@
 
 namespace chiller::sim {
 
-/// A scheduled callback. Events are totally ordered by (time, seq): two
-/// events at the same instant fire in the order they were scheduled, which
-/// makes simulations bit-for-bit reproducible.
+/// A scheduled callback. Events are totally ordered by the canonical key
+/// (time, domain, origin, seq) — see sim/scheduler.h for why that order is
+/// independent of thread interleaving. Two events at the same instant in
+/// the same domain from the same origin fire in the order they were
+/// scheduled, which makes simulations bit-for-bit reproducible; the
+/// plain Push(time, fn) overload tags everything (domain 0, origin 0), so
+/// for standalone use the order degenerates to the classic (time,
+/// schedule order) contract.
 struct Event {
   SimTime time = 0;
-  uint64_t seq = 0;
+  uint32_t domain = 0;  ///< domain the event fires in
+  uint32_t origin = 0;  ///< domain that scheduled it
+  uint64_t seq = 0;     ///< per-origin schedule counter
   std::function<void()> fn;
 };
 
-/// Min-heap of events ordered by (time, seq).
+/// Min-heap of events ordered by (time, domain, origin, seq).
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute time `time`.
+  /// Schedules `fn` at absolute time `time` with the default tags and an
+  /// internal schedule counter (standalone single-origin use).
   void Push(SimTime time, std::function<void()> fn);
+
+  /// Schedules `fn` with an explicit (domain, origin, seq) tag. The caller
+  /// owns seq assignment (one counter per origin domain); mixing this with
+  /// the untagged overload on one queue forfeits the uniqueness of keys.
+  void Push(SimTime time, uint32_t domain, uint32_t origin, uint64_t seq,
+            std::function<void()> fn);
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
@@ -38,12 +52,17 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
+    uint32_t domain;
+    uint32_t origin;
     uint64_t seq;
     size_t slot;  // index into fns_
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+      if (a.time != b.time) return a.time > b.time;
+      if (a.domain != b.domain) return a.domain > b.domain;
+      if (a.origin != b.origin) return a.origin > b.origin;
+      return a.seq > b.seq;
     }
   };
 

@@ -1,0 +1,219 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace chiller::sim {
+
+namespace {
+
+/// Per-thread execution context. A worker thread owns one shard of one
+/// simulator; the coordinating thread (owner == nullptr here) uses the
+/// simulator's global state instead.
+struct Tls {
+  const ShardedSimulator* owner = nullptr;
+  uint32_t shard = 0;
+  SimTime now = 0;
+  DomainId domain = kControlDomain;
+};
+
+thread_local Tls tls;
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(uint32_t num_shards, uint32_t num_domains)
+    : num_shards_(num_shards),
+      shards_(num_shards),
+      seq_(num_domains, 0) {
+  CHILLER_CHECK(num_shards >= 1);
+  CHILLER_CHECK(num_domains >= 1);
+  for (Shard& s : shards_) s.outbox.resize(num_shards_);
+  if (num_shards_ > 1) {
+    sync_ = std::make_unique<std::barrier<>>(num_shards_ + 1);
+    threads_.reserve(num_shards_);
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      threads_.emplace_back([this, s] { WorkerLoop(s); });
+    }
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!threads_.empty()) {
+    exit_ = true;
+    sync_->arrive_and_wait();  // release workers; they observe exit_
+    for (std::thread& t : threads_) t.join();
+  }
+}
+
+SimTime ShardedSimulator::now() const {
+  if (tls.owner == this) return tls.now;
+  return global_now_;
+}
+
+DomainId ShardedSimulator::current_domain() const {
+  if (tls.owner == this) return tls.domain;
+  // The coordinator runs control events and external calls; both are
+  // control-plane by definition.
+  return kControlDomain;
+}
+
+void ShardedSimulator::ScheduleIn(DomainId domain, SimTime when,
+                                  std::function<void()> fn) {
+  CHILLER_CHECK(domain < seq_.size()) << "unknown domain " << domain;
+  const SimTime t_now = now();
+  const DomainId origin = current_domain();
+  CHILLER_CHECK(when >= t_now)
+      << "scheduling into the past: " << when << " < " << t_now;
+  CHILLER_DCHECK(lookahead() == 0 || origin == kControlDomain ||
+                 domain == kControlDomain || domain == origin ||
+                 when >= WindowEnd(t_now))
+      << "cross-domain event inside a lookahead window: " << origin << " -> "
+      << domain << " at " << when;
+  const uint64_t seq = NextSeq(origin);
+  if (tls.owner == this) {
+    // Worker thread: same-shard events go straight into our queue; anything
+    // else parks in a mailbox until the window boundary.
+    Shard& self = shards_[tls.shard];
+    if (domain == kControlDomain) {
+      self.control_outbox.push_back(
+          Pending{when, domain, origin, seq, std::move(fn)});
+    } else if (ShardOfDomain(domain) == tls.shard) {
+      self.queue.Push(when, domain, origin, seq, std::move(fn));
+    } else {
+      self.outbox[ShardOfDomain(domain)].push_back(
+          Pending{when, domain, origin, seq, std::move(fn)});
+    }
+    return;
+  }
+  // Coordinator: every worker is parked, so destination queues are ours to
+  // touch directly.
+  if (domain == kControlDomain) {
+    control_queue_.Push(when, domain, origin, seq, std::move(fn));
+  } else {
+    shards_[ShardOfDomain(domain)].queue.Push(when, domain, origin, seq,
+                                              std::move(fn));
+  }
+}
+
+void ShardedSimulator::ScheduleControl(SimTime delay,
+                                       std::function<void()> fn) {
+  ScheduleIn(kControlDomain, ControlFireTime(delay), std::move(fn));
+}
+
+void ShardedSimulator::RunWindow(uint32_t s) {
+  Shard& shard = shards_[s];
+  while (!shard.queue.empty() && shard.queue.NextTime() < window_end_ &&
+         shard.queue.NextTime() <= window_until_) {
+    Event e = shard.queue.Pop();
+    tls.now = e.time;
+    tls.domain = e.domain;
+    shard.last_time = e.time;
+    ++shard.processed;
+    e.fn();
+  }
+  tls.domain = kControlDomain;
+}
+
+void ShardedSimulator::WorkerLoop(uint32_t s) {
+  tls.owner = this;
+  tls.shard = s;
+  for (;;) {
+    sync_->arrive_and_wait();  // coordinator published window bounds
+    if (exit_) break;
+    RunWindow(s);
+    sync_->arrive_and_wait();  // window done; coordinator resumes
+  }
+}
+
+void ShardedSimulator::DrainMailboxes() {
+  for (Shard& src : shards_) {
+    for (uint32_t d = 0; d < num_shards_; ++d) {
+      for (Pending& p : src.outbox[d]) {
+        shards_[d].queue.Push(p.when, p.domain, p.origin, p.seq,
+                              std::move(p.fn));
+      }
+      src.outbox[d].clear();
+    }
+    for (Pending& p : src.control_outbox) {
+      control_queue_.Push(p.when, p.domain, p.origin, p.seq, std::move(p.fn));
+    }
+    src.control_outbox.clear();
+  }
+}
+
+void ShardedSimulator::Drive(SimTime until, bool run_all) {
+  CHILLER_CHECK(num_shards_ == 1 || lookahead() > 0)
+      << "multi-shard execution requires a lookahead";
+  for (;;) {
+    const SimTime tc = control_queue_.NextTime();
+    SimTime td = kSimTimeNever;
+    for (const Shard& s : shards_) td = std::min(td, s.queue.NextTime());
+    const SimTime next = std::min(tc, td);
+    if (next == kSimTimeNever) break;
+    if (!run_all && next > until) break;
+    if (tc <= td) {
+      // Control batch: the control domain sorts before data at equal time,
+      // and runs only while every shard is parked — which they all are.
+      Event e = control_queue_.Pop();
+      global_now_ = e.time;
+      ++control_processed_;
+      e.fn();
+      continue;
+    }
+    // Data window containing the earliest data event. Idle windows are
+    // skipped by construction (k jumps straight to td's window).
+    const SimTime la = lookahead();
+    window_end_ = la == 0 ? kSimTimeNever : (td / la + 1) * la;
+    window_until_ = run_all ? kSimTimeNever : until;
+    if (threads_.empty()) {
+      // Single shard: run the window inline, but under the same per-thread
+      // context a worker would have, so now()/current_domain()/routing
+      // behave identically.
+      tls.owner = this;
+      tls.shard = 0;
+      RunWindow(0);
+      tls.owner = nullptr;
+    } else {
+      sync_->arrive_and_wait();  // release workers into the window
+      sync_->arrive_and_wait();  // wait for every shard to finish it
+    }
+    for (const Shard& s : shards_) {
+      global_now_ = std::max(global_now_, s.last_time);
+    }
+    DrainMailboxes();
+  }
+}
+
+void ShardedSimulator::Run() { Drive(kSimTimeNever, /*run_all=*/true); }
+
+void ShardedSimulator::RunUntil(SimTime until) {
+  Drive(until, /*run_all=*/false);
+  global_now_ = std::max(global_now_, until);
+}
+
+void ShardedSimulator::Clear() {
+  for (Shard& s : shards_) {
+    while (!s.queue.empty()) s.queue.Pop();
+    for (auto& box : s.outbox) box.clear();
+    s.control_outbox.clear();
+  }
+  while (!control_queue_.empty()) control_queue_.Pop();
+}
+
+uint64_t ShardedSimulator::events_processed() const {
+  uint64_t total = control_processed_;
+  for (const Shard& s : shards_) total += s.processed;
+  return total;
+}
+
+bool ShardedSimulator::idle() const {
+  if (!control_queue_.empty()) return false;
+  for (const Shard& s : shards_) {
+    if (!s.queue.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace chiller::sim

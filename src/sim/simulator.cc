@@ -1,37 +1,57 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace chiller::sim {
 
-void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
-  queue_.Push(now_ + delay, std::move(fn));
+uint64_t Simulator::NextSeq(DomainId origin) {
+  if (seq_.size() <= origin) seq_.resize(origin + 1, 0);
+  return seq_[origin]++;
 }
 
-void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
+void Simulator::ScheduleIn(DomainId domain, SimTime when,
+                           std::function<void()> fn) {
   CHILLER_CHECK(when >= now_) << "scheduling into the past: " << when << " < "
                               << now_;
-  queue_.Push(when, std::move(fn));
+  // Conservative-synchronization contract: a data-domain event may reach a
+  // *different* data domain no earlier than the next lookahead boundary.
+  // The network layer guarantees this by construction (cross-node latency
+  // >= lookahead); anything else would be unrunnable on the sharded
+  // implementation.
+  CHILLER_DCHECK(lookahead() == 0 || current_domain_ == kControlDomain ||
+                 domain == kControlDomain || domain == current_domain_ ||
+                 when >= WindowEnd(now_))
+      << "cross-domain event inside a lookahead window: " << current_domain_
+      << " -> " << domain << " at " << when;
+  queue_.Push(when, domain, current_domain_, NextSeq(current_domain_),
+              std::move(fn));
+}
+
+void Simulator::ScheduleControl(SimTime delay, std::function<void()> fn) {
+  const SimTime when = ControlFireTime(delay);
+  queue_.Push(when, kControlDomain, current_domain_,
+              NextSeq(current_domain_), std::move(fn));
+}
+
+void Simulator::Execute(Event e) {
+  CHILLER_DCHECK(e.time >= now_);
+  now_ = e.time;
+  current_domain_ = e.domain;
+  ++events_processed_;
+  e.fn();
+  current_domain_ = kControlDomain;
 }
 
 void Simulator::Run() {
-  while (!queue_.empty()) {
-    Event e = queue_.Pop();
-    CHILLER_DCHECK(e.time >= now_);
-    now_ = e.time;
-    ++events_processed_;
-    e.fn();
-  }
+  while (!queue_.empty()) Execute(queue_.Pop());
 }
 
 void Simulator::RunUntil(SimTime until) {
   while (!queue_.empty() && queue_.NextTime() <= until) {
-    Event e = queue_.Pop();
-    now_ = e.time;
-    ++events_processed_;
-    e.fn();
+    Execute(queue_.Pop());
   }
   now_ = std::max(now_, until);
 }

@@ -158,6 +158,23 @@ TwoRegionPlan DependencyAnalysis::Plan(const Transaction& txn,
     }
   }
 
+  // Skip-group legality: a group member must never execute before the probe
+  // that can disable its group. The outer region runs first, so an outer
+  // member whose group can be killed by an earlier inner op (a may_be_missing
+  // probe) would access a record the probe was meant to skip.
+  for (size_t i = 0; i < n; ++i) {
+    if (inner[i] || txn.ops[i].skip_group < 0) continue;
+    for (size_t j = 0; j < i; ++j) {
+      if (inner[j] && txn.ops[j].may_be_missing &&
+          txn.ops[j].skip_group == txn.ops[i].skip_group) {
+        plan.fallback_reason = "outer op in a skip group guarded by an inner "
+                               "probe (op " +
+                               std::to_string(i) + ")";
+        return plan;
+      }
+    }
+  }
+
   // An outer op whose *key* depends on an inner read is illegal: its lock
   // could only be taken after the inner region committed.
   for (size_t i = 0; i < n; ++i) {

@@ -388,5 +388,77 @@ TEST(SweepDeterminismTest, LiveMigrationJobsOneAndJobsEightAreByteIdentical) {
   EXPECT_GT(cont->adaptive.controller_epochs, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Sharded-simulator determinism: --shards runs one scenario across real
+// threads (sim::ShardedSimulator) and must be byte-identical to --shards=1
+// for every shard count, composed with any --jobs value. Fingerprints
+// cover the full per-class stats and, for migration scenarios, the
+// per-slice timeline.
+// ---------------------------------------------------------------------------
+
+std::vector<runner::ScenarioSpec> WithShards(
+    std::vector<runner::ScenarioSpec> specs, uint32_t shards) {
+  for (auto& s : specs) s.shards = shards;
+  return specs;
+}
+
+/// Runs `base` at shards=1/jobs=1 as the reference, then asserts every
+/// shards x jobs combination reproduces it byte for byte under
+/// `fingerprint`.
+template <typename Fp>
+void ExpectShardInvariance(const std::vector<runner::ScenarioSpec>& base,
+                           Fp fingerprint) {
+  const std::string want =
+      fingerprint(runner::SweepExecutor(1).Run(WithShards(base, 1)));
+  EXPECT_FALSE(want.empty());
+  for (uint32_t shards : {2u, 8u}) {
+    for (uint32_t jobs : {1u, 8u}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " jobs=" + std::to_string(jobs));
+      const std::string got = fingerprint(
+          runner::SweepExecutor(jobs).Run(WithShards(base, shards)));
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+TEST(ShardDeterminismTest, ClosedLoopShardsTimesJobsAreByteIdentical) {
+  // One spec per workload family (the seed-5 slice of the mixed grid)
+  // keeps the 5x repetition affordable without losing family coverage.
+  std::vector<runner::ScenarioSpec> base;
+  for (auto& spec : MixedSweep()) {
+    if (spec.seed == 5) base.push_back(std::move(spec));
+  }
+  ASSERT_FALSE(base.empty());
+  ExpectShardInvariance(base, SweepFingerprint);
+}
+
+TEST(ShardDeterminismTest, OpenLoopShardsTimesJobsAreByteIdentical) {
+  // The seed-5 slice: poisson + uniform arrivals at both offered rates
+  // (one of them shedding), plus the batched spec.
+  std::vector<runner::ScenarioSpec> base;
+  for (auto& spec : LoadModelSweep()) {
+    if (spec.seed == 5 || spec.load_model == "batched") {
+      base.push_back(std::move(spec));
+    }
+  }
+  ASSERT_FALSE(base.empty());
+  ExpectShardInvariance(base, SweepFingerprint);
+}
+
+TEST(ShardDeterminismTest,
+     ContinuousMigrationShardsTimesJobsAreByteIdentical) {
+  // One live-migrate phase plan and the continuous-controller spec: bucket
+  // locks, batch retries, drift decisions, and the timeline all under real
+  // threads. LiveFingerprint covers the migration windows and every
+  // timeline slice.
+  std::vector<runner::ScenarioSpec> base;
+  for (auto& spec : LiveMigrationSweep()) {
+    if (spec.seed == 3 || spec.continuous) base.push_back(std::move(spec));
+  }
+  ASSERT_EQ(base.size(), 2u);
+  ExpectShardInvariance(base, LiveFingerprint);
+}
+
 }  // namespace
 }  // namespace chiller

@@ -3,6 +3,8 @@
 // SweepExecutor ordering.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -549,6 +551,83 @@ TEST(SweepExecutorTest, MemBudgetStillRunsEverySpecIdentically) {
     EXPECT_EQ(a[i]->stats.TotalConflictAborts(),
               b[i]->stats.TotalConflictAborts());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Footprint calibration cache (persists the learned EWMA factor across
+// bench invocations) and the shards x jobs coordination.
+// ---------------------------------------------------------------------------
+
+TEST(FootprintCalibrationCacheTest, SaveLoadRoundtrips) {
+  const std::string path =
+      testing::TempDir() + "/chiller_footprint_cache_roundtrip";
+  std::remove(path.c_str());
+
+  double factor = 99.0;
+  EXPECT_FALSE(FootprintCalibrationCache::Load(path, &factor));
+  EXPECT_EQ(factor, 99.0) << "a miss must not touch the output";
+
+  const double v = 1.2345678901234567;  // needs the full %.17g precision
+  ASSERT_TRUE(FootprintCalibrationCache::Save(path, v));
+  ASSERT_TRUE(FootprintCalibrationCache::Load(path, &factor));
+  EXPECT_EQ(factor, v);
+  std::remove(path.c_str());
+}
+
+TEST(FootprintCalibrationCacheTest, ClampBoundsTheFactor) {
+  EXPECT_EQ(FootprintCalibrationCache::Clamp(0.0),
+            FootprintCalibrationCache::kMinFactor);
+  EXPECT_EQ(FootprintCalibrationCache::Clamp(1e9),
+            FootprintCalibrationCache::kMaxFactor);
+  EXPECT_EQ(FootprintCalibrationCache::Clamp(1.5), 1.5);
+  // Corrupt inputs (NaN/inf from a truncated file) reset to neutral.
+  EXPECT_EQ(FootprintCalibrationCache::Clamp(
+                std::numeric_limits<double>::quiet_NaN()),
+            1.0);
+  EXPECT_EQ(FootprintCalibrationCache::Clamp(
+                std::numeric_limits<double>::infinity()),
+            1.0);
+
+  // Save clamps, so a wild factor never round-trips out of range.
+  const std::string path =
+      testing::TempDir() + "/chiller_footprint_cache_clamp";
+  ASSERT_TRUE(FootprintCalibrationCache::Save(path, 1e9));
+  double factor = 0.0;
+  ASSERT_TRUE(FootprintCalibrationCache::Load(path, &factor));
+  EXPECT_EQ(factor, FootprintCalibrationCache::kMaxFactor);
+  std::remove(path.c_str());
+}
+
+TEST(FootprintCalibrationCacheTest, RejectsGarbageFiles) {
+  const std::string path =
+      testing::TempDir() + "/chiller_footprint_cache_garbage";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("not a cache file\n", f);
+    fclose(f);
+  }
+  double factor = 42.0;
+  EXPECT_FALSE(FootprintCalibrationCache::Load(path, &factor));
+  EXPECT_EQ(factor, 42.0);
+  std::remove(path.c_str());
+}
+
+TEST(FootprintCalibrationCacheTest, PathSitsNextToTheReport) {
+  EXPECT_EQ(FootprintCalibrationCache::PathNextTo("out/BENCH_fig9.json"),
+            "out/.chiller_footprint_cache");
+  EXPECT_EQ(FootprintCalibrationCache::PathNextTo("BENCH_fig9.json"),
+            ".chiller_footprint_cache");
+}
+
+TEST(SweepExecutorTest, EffectiveJobsDividesByTheWidestShardCount) {
+  SweepExecutor executor(8);
+  std::vector<ScenarioSpec> specs(3, SmallYcsb());
+  EXPECT_EQ(executor.EffectiveJobs(specs), 8u);
+  specs[1].shards = 4;
+  EXPECT_EQ(executor.EffectiveJobs(specs), 2u);
+  specs[2].shards = 16;  // wider than jobs: never drops below one worker
+  EXPECT_EQ(executor.EffectiveJobs(specs), 1u);
 }
 
 }  // namespace

@@ -1,10 +1,14 @@
 // Unit tests for the discrete-event simulator substrate.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/cpu_resource.h"
 #include "sim/event_queue.h"
+#include "sim/scheduler.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 
 namespace chiller::sim {
@@ -113,6 +117,189 @@ TEST(SimulatorTest, DeterministicReplay) {
     return order;
   };
   EXPECT_EQ(run(), run());
+}
+
+// --- The event-queue tie-breaking contract --------------------------------
+//
+// Events are totally ordered by (time, domain, origin, seq): earlier time
+// first; at one instant the control domain (0) precedes every data domain
+// and lower data domains precede higher ones; events from one origin at
+// one (time, domain) fire in the order they were scheduled. The untagged
+// Push keeps the historical (time, schedule order) contract as the
+// degenerate case (all tags zero, internal counter).
+
+TEST(EventQueueTest, CanonicalKeyOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  auto tag = [&order](int id) {
+    return [&order, id] { order.push_back(id); };
+  };
+  // Pushed shuffled; must pop time-major, then domain, origin, seq.
+  q.Push(5, 2, 1, 7, tag(5));
+  q.Push(5, 1, 3, 0, tag(3));
+  q.Push(5, 0, 0, 9, tag(1));  // control domain first at the instant
+  q.Push(5, 2, 1, 3, tag(4));
+  q.Push(5, 1, 1, 5, tag(2));
+  q.Push(4, 9, 9, 9, tag(0));  // earlier time beats every tag
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueueTest, SameOriginFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    // One origin, one instant, one domain: seq is the schedule counter.
+    q.Push(10, 1, 2, static_cast<uint64_t>(i),
+           [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().fn();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+// --- Domain scheduling on the single-threaded Simulator -------------------
+
+TEST(SimulatorTest, ControlRunsBeforeDataAtTheSameInstant) {
+  Simulator sim;
+  sim.set_lookahead(1000);
+  std::vector<std::string> order;
+  sim.ScheduleIn(DomainOfNode(0), 1000,
+                 [&] { order.push_back("data"); });
+  sim.ScheduleControl(1000, [&] { order.push_back("control"); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<std::string>{"control", "data"}));
+}
+
+TEST(SimulatorTest, ZeroLatencySelfSendStaysAtTheInstant) {
+  // A zero-delay send within one domain does not cross any lookahead
+  // boundary: it fires at the same simulated instant, inside the window.
+  Simulator sim;
+  sim.set_lookahead(1000);
+  std::vector<SimTime> fired;
+  sim.ScheduleIn(DomainOfNode(0), 150, [&] {
+    sim.Schedule(0, [&] {
+      fired.push_back(sim.now());
+      EXPECT_EQ(sim.current_domain(), DomainOfNode(0));
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{150}));
+}
+
+TEST(SimulatorTest, ControlFromDataClampsPastTheWindow) {
+  // ScheduleControl from a data-domain event may not land inside the
+  // window that is executing: delay 0 at t=100 rounds up to the boundary.
+  Simulator sim;
+  sim.set_lookahead(1000);
+  SimTime fired = 0;
+  sim.ScheduleIn(DomainOfNode(0), 100, [&] {
+    sim.ScheduleControl(0, [&] { fired = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 1000u);
+}
+
+TEST(SimulatorTest, ControlWithoutLookaheadIsPlainScheduling) {
+  Simulator sim;  // lookahead 0: no grid
+  SimTime fired = 0;
+  sim.ScheduleControl(70, [&] { fired = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(fired, 70u);
+}
+
+// --- ShardedSimulator: same semantics across real threads -----------------
+
+// A deterministic message-passing program over `nodes` domains: every node
+// launches a token that hops around the ring with one lookahead of latency
+// per hop, and each arrival does a zero-latency self-send before forwarding.
+// Returns the per-domain observation logs (each domain's sequence is the
+// determinism contract; a global interleaving across domains is not).
+std::vector<std::vector<int>> RunRingProgram(Scheduler* sim,
+                                             uint32_t nodes) {
+  constexpr SimTime kLat = 1000;
+  std::vector<std::vector<int>> log(nodes + 1);
+  std::function<void(uint32_t, int, int)> forward =
+      [&](uint32_t node, int token, int hops) {
+        if (hops == 0) return;
+        const uint32_t next = (node + 1) % nodes;
+        sim->ScheduleIn(
+            DomainOfNode(next), sim->now() + kLat,
+            [&, next, token, hops] {
+              log[DomainOfNode(next)].push_back(token * 100 + hops);
+              sim->Schedule(0, [&, next, token, hops] {
+                log[DomainOfNode(next)].push_back(-(token * 100 + hops));
+                forward(next, token, hops - 1);
+              });
+            });
+      };
+  for (uint32_t n = 0; n < nodes; ++n) {
+    forward(n, static_cast<int>(n) + 1, 6);
+  }
+  sim->Run();
+  return log;
+}
+
+TEST(ShardedSimulatorTest, MatchesSingleThreadedAtAnyShardCount) {
+  constexpr uint32_t kNodes = 4;
+  Simulator reference;
+  reference.set_lookahead(1000);
+  const auto want = RunRingProgram(&reference, kNodes);
+  for (uint32_t shards : {1u, 2u, 3u, 4u}) {
+    ShardedSimulator sim(shards, kNodes + 1);
+    sim.set_lookahead(1000);
+    const auto got = RunRingProgram(&sim, kNodes);
+    EXPECT_EQ(got, want) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedSimulatorTest, BarrierEdgeEventBelongsToTheNextWindow) {
+  // An event exactly on a window boundary runs in the window that starts
+  // there — after any control event due at the same instant, which runs
+  // while every shard is parked. (Control and data callbacks here are
+  // sequenced by the window barrier, so one shared log is race-free.)
+  ShardedSimulator sim(2, 3);
+  sim.set_lookahead(1000);
+  std::vector<std::string> order;
+  sim.ScheduleIn(DomainOfNode(0), 999, [&] { order.push_back("data@999"); });
+  sim.ScheduleIn(DomainOfNode(0), 1000,
+                 [&] { order.push_back("data@1000"); });
+  sim.ScheduleControl(1000, [&] { order.push_back("control@1000"); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<std::string>{"data@999", "control@1000",
+                                             "data@1000"}));
+  EXPECT_EQ(sim.now(), 1000u);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(ShardedSimulatorTest, RunUntilClearAndIdle) {
+  ShardedSimulator sim(2, 3);
+  sim.set_lookahead(10);
+  int fired = 0;
+  sim.ScheduleIn(DomainOfNode(0), 5, [&] { ++fired; });
+  sim.ScheduleIn(DomainOfNode(1), 25, [&] { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_FALSE(sim.idle());
+  sim.Clear();
+  EXPECT_TRUE(sim.idle());
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(CpuResourceTest, DomainTargetedSubmit) {
+  Simulator sim;
+  sim.set_lookahead(100);
+  CpuResource cpu(&sim, DomainOfNode(2));
+  SimTime done = 0;
+  DomainId dom = 999;
+  cpu.Submit(50, [&] {
+    done = sim.now();
+    dom = sim.current_domain();
+  });
+  sim.Run();
+  EXPECT_EQ(done, 50u);
+  EXPECT_EQ(dom, DomainOfNode(2));
 }
 
 TEST(CpuResourceTest, SerialExecution) {
