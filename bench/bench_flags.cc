@@ -6,6 +6,7 @@
 
 #include "cc/load_model.h"
 #include "runner/registry.h"
+#include "schedule/scheduler.h"
 
 namespace chiller::bench {
 namespace {
@@ -52,6 +53,12 @@ std::string UsageString(const std::string& bench_name,
     if (!protocols.empty()) protocols += " | ";
     protocols += name;
   }
+  std::string schedulers;
+  for (const std::string& name :
+       schedule::SchedulerRegistry::Global().Names()) {
+    if (!schedulers.empty()) schedulers += " | ";
+    schedulers += name;
+  }
   // Two-pass snprintf: the protocol list comes from the registry, so the
   // text has no static size bound (out-of-tree binaries register more).
   const auto format = [&](char* buf, size_t size) {
@@ -74,6 +81,11 @@ std::string UsageString(const std::string& bench_name,
         " (default %u)\n"
         "  --batch-size=N      batched: admissions per engine batch"
         " (default %u)\n"
+        "  --scheduler=NAME    admission scheduler: %s (default %s)\n"
+        "  --sched-classes=N   conflict-class universe, 0 = auto"
+        " (default %u)\n"
+        "  --shed-policy=NAME  scheduled-queue overflow: drop-new |"
+        " drop-cold | drop-hot (default %s)\n"
         "  --jobs=N            sweep worker threads, 0 = all hardware threads"
         " (default %u)\n"
         "  --shards=N          simulator shards per scenario; results are"
@@ -84,13 +96,15 @@ std::string UsageString(const std::string& bench_name,
         "  --no-json           skip the JSON report\n"
         "  --list-protocols    print registered protocols and exit\n"
         "  --list-workloads    print registered workloads and exit\n"
+        "  --list-schedulers   print registered schedulers and exit\n"
         "  --help              show this message\n",
         bench_name.c_str(), protocols.c_str(), d.protocol.c_str(), d.nodes,
         d.engines, d.concurrency, d.warmup_ms, d.duration_ms, d.theta,
         static_cast<unsigned long long>(d.seed), d.load_model.c_str(),
-        d.offered_tps, d.arrival.c_str(), d.queue_cap, d.batch_size, d.jobs,
-        d.shards, static_cast<unsigned long long>(d.mem_budget_mb),
-        bench_name.c_str());
+        d.offered_tps, d.arrival.c_str(), d.queue_cap, d.batch_size,
+        schedulers.c_str(), d.scheduler.c_str(), d.sched_classes,
+        d.shed_policy.c_str(), d.jobs, d.shards,
+        static_cast<unsigned long long>(d.mem_budget_mb), bench_name.c_str());
   };
   const int needed = format(nullptr, 0);
   std::string out(static_cast<size_t>(needed) + 1, '\0');
@@ -114,6 +128,8 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
       out->list_protocols = true;
     } else if (name == "list-workloads") {
       out->list_workloads = true;
+    } else if (name == "list-schedulers") {
+      out->list_schedulers = true;
     } else if (name == "no-json") {
       out->emit_json = false;
     } else if (name == "protocol") {
@@ -156,6 +172,18 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
       st = ParseNumber(name, value, &out->queue_cap);
     } else if (name == "batch-size") {
       st = ParseNumber(name, value, &out->batch_size);
+    } else if (name == "scheduler") {
+      if (value.empty()) {
+        return Status::InvalidArgument("--scheduler requires a value");
+      }
+      out->scheduler = value;
+    } else if (name == "sched-classes") {
+      st = ParseNumber(name, value, &out->sched_classes);
+    } else if (name == "shed-policy") {
+      if (value.empty()) {
+        return Status::InvalidArgument("--shed-policy requires a value");
+      }
+      out->shed_policy = value;
     } else if (name == "jobs") {
       st = ParseNumber(name, value, &out->jobs);
     } else if (name == "shards") {
@@ -186,8 +214,13 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
   ApplyLoadModelFlags(*out, &lm_spec);
   lm_spec.concurrency = out->concurrency;
   lm_spec.seed = out->seed;
-  return cc::ValidateLoadModelParams(lm_spec.load_model,
-                                     lm_spec.MakeLoadModelParams());
+  Status lm_st = cc::ValidateLoadModelParams(lm_spec.load_model,
+                                             lm_spec.MakeLoadModelParams());
+  if (!lm_st.ok()) return lm_st;
+  // Names only: benches may pin the load model per grid point (fig9 forces
+  // "open" for its latency axis), so scheduler/model compatibility is the
+  // runner's per-scenario check, not a flag-time one.
+  return schedule::ValidateSchedulerNames(out->scheduler, out->shed_policy);
 }
 
 BenchFlags ParseBenchFlagsOrExit(int argc, const char* const* argv,
@@ -205,7 +238,7 @@ BenchFlags ParseBenchFlagsOrExit(int argc, const char* const* argv,
     std::fputs(UsageString(bench_name, defaults).c_str(), stdout);
     std::exit(0);
   }
-  if (flags.list_protocols || flags.list_workloads) {
+  if (flags.list_protocols || flags.list_workloads || flags.list_schedulers) {
     if (flags.list_protocols) {
       for (const auto& n : runner::ProtocolRegistry::Global().Names()) {
         std::printf("%s\n", n.c_str());
@@ -213,6 +246,11 @@ BenchFlags ParseBenchFlagsOrExit(int argc, const char* const* argv,
     }
     if (flags.list_workloads) {
       for (const auto& n : runner::WorkloadRegistry::Global().Names()) {
+        std::printf("%s\n", n.c_str());
+      }
+    }
+    if (flags.list_schedulers) {
+      for (const auto& n : schedule::SchedulerRegistry::Global().Names()) {
         std::printf("%s\n", n.c_str());
       }
     }

@@ -11,6 +11,7 @@
 #include "partition/stats_collector.h"
 #include "partition/workload_graph.h"
 #include "runner/runner.h"
+#include "schedule/scheduler.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "storage/lock_word.h"
@@ -139,6 +140,47 @@ void BM_ScenarioWire(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScenarioWire)->Unit(benchmark::kMillisecond);
+
+/// The admission scheduler's per-arrival cost: classify a drawn ycsb
+/// transaction by its hottest record and route it to an engine. This runs
+/// once per arrival under the open model, so it must stay far below one
+/// simulated interarrival gap.
+void BM_SchedulerRoute(benchmark::State& state) {
+  runner::ScenarioSpec spec;
+  spec.workload = "ycsb";
+  spec.nodes = 4;
+  spec.options.Set("keys_per_partition", 1000);
+  spec.options.Set("theta", 0.95);
+  auto env = runner::ScenarioRunner::Wire(spec);
+  CHILLER_CHECK(env.ok()) << env.status().ToString();
+  schedule::SchedulerContext ctx;
+  ctx.num_engines = spec.partitions();
+  ctx.partitioner = env->bundle->partitioner();
+  auto sched =
+      schedule::SchedulerRegistry::Global().Make("hash-affinity", ctx);
+  CHILLER_CHECK(sched.ok()) << sched.status().ToString();
+
+  // A pool of drawn transactions, pre-resolved exactly like Driver::Draw.
+  Rng rng(21);
+  std::vector<std::unique_ptr<txn::Transaction>> pool;
+  for (int i = 0; i < 256; ++i) {
+    auto t = env->bundle->source()->Next(
+        static_cast<PartitionId>(i % spec.partitions()), &rng);
+    if (t->accesses.empty()) t->InitAccesses();
+    t->ResolveReadyKeys();
+    pool.push_back(std::move(t));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const txn::Transaction& t = *pool[i];
+    const uint32_t cls = sched.value()->Classify(t);
+    benchmark::DoNotOptimize(
+        sched.value()->Route(t, cls, static_cast<EngineId>(i % 4)));
+    i = (i + 1) % pool.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerRoute);
 
 void BM_MultilevelPartition(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));

@@ -30,8 +30,26 @@ Driver::Driver(Cluster* cluster, Protocol* protocol, WorkloadSource* source,
 
 Driver::~Driver() = default;
 
+void Driver::set_scheduler(schedule::Scheduler* scheduler) {
+  CHILLER_CHECK(!started_) << "install the scheduler before Start()";
+  scheduler_ = scheduler;
+}
+
 void Driver::LaunchFresh(EngineId e, SimTime admission_delay) {
   std::shared_ptr<txn::Transaction> t = source_->Next(e, rng(e));
+  t->admission_delay = admission_delay;
+  Launch(e, std::move(t));
+}
+
+std::shared_ptr<txn::Transaction> Driver::Draw(EngineId e) {
+  std::shared_ptr<txn::Transaction> t = source_->Next(e, rng(e));
+  if (t->accesses.empty()) t->InitAccesses();
+  t->ResolveReadyKeys();
+  return t;
+}
+
+void Driver::LaunchRouted(EngineId e, std::shared_ptr<txn::Transaction> t,
+                          SimTime admission_delay) {
   t->admission_delay = admission_delay;
   Launch(e, std::move(t));
 }
@@ -58,6 +76,9 @@ std::shared_ptr<txn::Transaction> Driver::RebuildForRetry(
   // the live layout, not of the attempt: replanning the same inner region
   // would abort identically forever.
   retry->force_fallback = t.force_fallback;
+  // The retry keeps its predicted conflict class: class-serialized
+  // admission holds the class until the logical transaction settles.
+  retry->sched_class = t.sched_class;
   return retry;
 }
 
@@ -71,6 +92,15 @@ void Driver::NoteShed(EngineId e) {
 
 void Driver::NoteQueueDelay(EngineId e, SimTime delay) {
   if (measuring_) per_engine_[e].stats.queue_delay.Add(delay);
+}
+
+void Driver::NoteShedEvicted(EngineId e, bool counted_admitted) {
+  EngineState& es = per_engine_[e];
+  // The admission is taken back only if this window counted it (the entry
+  // records that at enqueue time); the underflow guard covers an entry
+  // counted before a ResetStats() that its flag cannot see.
+  if (counted_admitted && es.stats.admitted > 0) --es.stats.admitted;
+  if (measuring_) ++es.stats.shed;
 }
 
 void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {

@@ -11,6 +11,10 @@
 #include "common/random.h"
 #include "txn/transaction.h"
 
+namespace chiller::schedule {
+class Scheduler;
+}  // namespace chiller::schedule
+
 namespace chiller::cc {
 
 class LoadModel;
@@ -132,6 +136,15 @@ class Driver {
   /// The injected policy (never null).
   const LoadModel& load_model() const { return *model_; }
 
+  /// Installs a non-owning admission scheduler (see schedule/scheduler.h):
+  /// the load models consult it to classify, steer, and serialize
+  /// admissions. Must be called before Start(); null (the default) keeps
+  /// every legacy admission path byte-identical. The caller owns the
+  /// scheduler and must keep it alive for the driver's lifetime
+  /// (runner::ScenarioEnv does).
+  void set_scheduler(schedule::Scheduler* scheduler);
+  schedule::Scheduler* scheduler() const { return scheduler_; }
+
   // --- Load-model surface -------------------------------------------------
   // Called by LoadModel implementations; not meant for other callers.
 
@@ -153,6 +166,18 @@ class Driver {
   /// here; Quiesce() lets already-scheduled retries run to completion).
   void Launch(EngineId e, std::shared_ptr<txn::Transaction> t);
 
+  /// Draws a fresh transaction from engine `e`'s workload stream *without*
+  /// launching it, with accesses initialized and ready keys resolved so a
+  /// scheduler can classify it. Scheduled admission paths pair this with
+  /// LaunchRouted; the draw consumes e's workload RNG exactly like
+  /// LaunchFresh, so fifo (which never calls it) stays byte-identical.
+  std::shared_ptr<txn::Transaction> Draw(EngineId e);
+
+  /// Executes a previously drawn (possibly steered) transaction on engine
+  /// `e` now. `admission_delay` as in LaunchFresh.
+  void LaunchRouted(EngineId e, std::shared_ptr<txn::Transaction> t,
+                    SimTime admission_delay = 0);
+
   /// Rebuilds `t` for its next attempt (same logical transaction,
   /// attempt + 1, admission delay carried over).
   std::shared_ptr<txn::Transaction> RebuildForRetry(const txn::Transaction& t);
@@ -164,6 +189,22 @@ class Driver {
   void NoteAdmitted(EngineId e);
   void NoteShed(EngineId e);
   void NoteQueueDelay(EngineId e, SimTime delay);
+  /// A queued request on engine `e` was evicted by a shed policy in favor
+  /// of a new arrival: counts a shed and, when the victim's admission was
+  /// counted in the current window (`counted_admitted`), takes that
+  /// admission back — per-engine `admitted` stays "requests that entered
+  /// service or still wait", consistent with `shed`.
+  void NoteShedEvicted(EngineId e, bool counted_admitted);
+  /// True while finished work counts into stats() (scheduled admission
+  /// queues record it per entry to keep eviction accounting exact across
+  /// warmup/measure boundaries).
+  bool measuring() const { return measuring_; }
+  /// Per-engine accounting reads, control-plane only (tests assert that
+  /// sheds land on the engine a request was routed *to*).
+  uint64_t engine_admitted(EngineId e) const {
+    return per_engine_[e].stats.admitted;
+  }
+  uint64_t engine_shed(EngineId e) const { return per_engine_[e].stats.shed; }
   // ------------------------------------------------------------------------
 
  private:
@@ -186,6 +227,7 @@ class Driver {
   Protocol* protocol_;
   WorkloadSource* source_;
   std::unique_ptr<LoadModel> model_;
+  schedule::Scheduler* scheduler_ = nullptr;  ///< non-owning; null = fifo
   std::vector<EngineState> per_engine_;
   mutable RunStats merged_;  ///< scratch for stats(); control-plane only
   CommitObserver observer_;

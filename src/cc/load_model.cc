@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "cc/cluster.h"
 #include "common/logging.h"
 
 namespace chiller::cc {
+
+namespace {
+/// Modeled size of a forwarded admission request: the scheduler steers a
+/// transaction *descriptor* (procedure id + parameters) across the fabric,
+/// not record data. Charged on every cross-engine route.
+constexpr size_t kForwardRequestBytes = 64;
+}  // namespace
 
 void LoadModel::RetryAfterBackoff(EngineId e, const txn::Transaction& t) {
   Driver* d = driver_;
@@ -80,6 +89,13 @@ void OpenLoop::StartEngine(EngineId e) {
   // are free again; requests that were already admitted to the queue keep
   // their place (and their admission timestamps) and launch first.
   s.free_slots = opts_.slots_per_engine;
+  if (driver_->scheduler() != nullptr) {
+    // Everything in flight settled, so no class is held anymore.
+    s.inflight_classes.clear();
+    TryAdmitScheduled(e);
+    ScheduleNextArrival(e);
+    return;
+  }
   while (s.free_slots > 0 && !s.queue.empty()) AdmitFromQueue(e);
   ScheduleNextArrival(e);
 }
@@ -111,6 +127,38 @@ void OpenLoop::Arrive(EngineId e) {
   // A quiesce drains the event queue, which fires pending arrivals early;
   // discard them and leave the clock disarmed — Resume() restarts it.
   if (driver_->quiesced()) return;
+  if (const schedule::Scheduler* sched = driver_->scheduler()) {
+    // Scheduled path: draw at arrival (instead of at launch) so the
+    // scheduler can classify and steer before admission. The draw
+    // consumes e's workload RNG exactly where the legacy path would for
+    // an immediate admission; under fifo this branch never runs, which is
+    // what keeps legacy runs byte-identical.
+    std::shared_ptr<txn::Transaction> t = driver_->Draw(e);
+    t->sched_class = sched->Classify(*t);
+    const EngineId target = sched->Route(*t, t->sched_class, e);
+    if (target == e) {
+      AdmitScheduled(e, std::move(t));
+    } else {
+      // Cross-engine steering goes through the fabric: the admission
+      // decision must run in the target engine's event domain (the
+      // sharded simulator's ownership rule), and the hop charges its real
+      // one-way latency. The shed decision therefore lands on the engine
+      // the request was routed *to* — per-engine shed stays consistent
+      // with admitted.
+      Cluster* cluster = driver_->cluster();
+      cluster->network()->Deliver(
+          cluster->topology().NodeOfEngine(e),
+          cluster->topology().NodeOfEngine(target), kForwardRequestBytes,
+          [this, target, t]() {
+            // Mirrors the arrival-discard rule: a request in flight when
+            // a quiesce drains the simulator is dropped, not admitted.
+            if (driver_->quiesced()) return;
+            AdmitScheduled(target, t);
+          });
+    }
+    ScheduleNextArrival(e);
+    return;
+  }
   EngineState& s = engines_[e];
   if (s.free_slots > 0) {
     --s.free_slots;
@@ -133,17 +181,102 @@ void OpenLoop::AdmitFromQueue(EngineId e) {
   driver_->LaunchFresh(e, waited);
 }
 
+bool OpenLoop::ClassAdmissible(const EngineState& s, uint32_t cls) const {
+  if (cls == schedule::kColdClass) return true;
+  if (!driver_->scheduler()->SerializeClasses()) return true;
+  return !s.inflight_classes.contains(cls);
+}
+
+void OpenLoop::AdmitScheduled(EngineId e, std::shared_ptr<txn::Transaction> t) {
+  EngineState& s = engines_[e];
+  const uint32_t cls = t->sched_class;
+  if (s.free_slots > 0 && ClassAdmissible(s, cls)) {
+    --s.free_slots;
+    if (cls != schedule::kColdClass &&
+        driver_->scheduler()->SerializeClasses()) {
+      ++s.inflight_classes[cls];
+    }
+    driver_->NoteAdmitted(e);
+    driver_->LaunchRouted(e, std::move(t), /*admission_delay=*/0);
+    return;
+  }
+  if (s.sched_queue.size() < opts_.queue_cap) {
+    driver_->NoteAdmitted(e);
+    s.sched_queue.push_back({std::move(t), driver_->cluster()->sim()->now(),
+                             driver_->measuring()});
+    return;
+  }
+  // Queue full: the shed policy chooses between the arrival and a queued
+  // victim of the opposite temperature.
+  std::vector<bool> hot(s.sched_queue.size());
+  for (size_t i = 0; i < s.sched_queue.size(); ++i) {
+    hot[i] = s.sched_queue[i].txn->sched_class != schedule::kColdClass;
+  }
+  const int victim = schedule::PickVictim(
+      hot, cls != schedule::kColdClass, opts_.shed_policy);
+  if (victim < 0) {
+    driver_->NoteShed(e);
+    return;
+  }
+  driver_->NoteShedEvicted(
+      e, s.sched_queue[static_cast<size_t>(victim)].counted);
+  s.sched_queue.erase(s.sched_queue.begin() + victim);
+  driver_->NoteAdmitted(e);
+  s.sched_queue.push_back({std::move(t), driver_->cluster()->sim()->now(),
+                           driver_->measuring()});
+}
+
+void OpenLoop::TryAdmitScheduled(EngineId e) {
+  EngineState& s = engines_[e];
+  while (s.free_slots > 0) {
+    // First admissible request in queue order: a blocked hot class lets
+    // the work behind it through instead of head-of-line blocking, and
+    // the scan order is deterministic.
+    size_t pick = s.sched_queue.size();
+    for (size_t i = 0; i < s.sched_queue.size(); ++i) {
+      if (ClassAdmissible(s, s.sched_queue[i].txn->sched_class)) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == s.sched_queue.size()) return;
+    ScheduledRequest req = std::move(s.sched_queue[pick]);
+    s.sched_queue.erase(s.sched_queue.begin() + static_cast<long>(pick));
+    const SimTime waited =
+        driver_->cluster()->sim()->now() - req.enqueued;
+    --s.free_slots;
+    const uint32_t cls = req.txn->sched_class;
+    if (cls != schedule::kColdClass &&
+        driver_->scheduler()->SerializeClasses()) {
+      ++s.inflight_classes[cls];
+    }
+    driver_->LaunchRouted(e, std::move(req.txn), waited);
+  }
+}
+
 void OpenLoop::OnSlotFree(EngineId e, const txn::Transaction& t) {
   if (t.outcome == txn::Outcome::kAbortConflict) {
     // The retried request keeps its slot: admitted work finishes before
     // queued work starts, so a conflict storm lengthens the queue instead
-    // of multiplying the in-flight population.
+    // of multiplying the in-flight population. On the scheduled path it
+    // also keeps its conflict class held.
     RetryAfterBackoff(e, t);
     return;
   }
   driver_->NoteQueueDelay(e, t.admission_delay);
   EngineState& s = engines_[e];
   ++s.free_slots;
+  if (driver_->scheduler() != nullptr) {
+    const uint32_t cls = t.sched_class;
+    if (cls != schedule::kColdClass) {
+      auto it = s.inflight_classes.find(cls);
+      if (it != s.inflight_classes.end() && --it->second == 0) {
+        s.inflight_classes.erase(it);
+      }
+    }
+    TryAdmitScheduled(e);
+    return;
+  }
   if (!s.queue.empty()) AdmitFromQueue(e);
 }
 
@@ -162,9 +295,62 @@ void Batched::StartEngine(EngineId e) {
 }
 
 void Batched::LaunchBatch(EngineId e) {
+  if (driver_->scheduler() != nullptr) {
+    LaunchPackedBatch(e);
+    return;
+  }
   EngineState& s = engines_[e];
   s.outstanding = batch_;
   for (uint32_t i = 0; i < batch_; ++i) driver_->LaunchFresh(e);
+}
+
+void Batched::LaunchPackedBatch(EngineId e) {
+  const schedule::Scheduler* sched = driver_->scheduler();
+  EngineState& s = engines_[e];
+  std::vector<std::shared_ptr<txn::Transaction>> batch;
+  std::unordered_set<uint32_t> used;
+  const auto admissible = [&](uint32_t cls) {
+    return cls == schedule::kColdClass || !used.contains(cls);
+  };
+  const auto take = [&](std::shared_ptr<txn::Transaction> t) {
+    if (t->sched_class != schedule::kColdClass) used.insert(t->sched_class);
+    batch.push_back(std::move(t));
+  };
+  // Deferred work first, oldest first: a draw parked by an earlier batch's
+  // class collision must not starve behind fresh draws.
+  for (auto it = s.deferred.begin();
+       it != s.deferred.end() && batch.size() < batch_;) {
+    if (admissible((*it)->sched_class)) {
+      take(std::move(*it));
+      it = s.deferred.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Fresh draws fill the rest. Collisions are deferred up to a bounded
+  // backlog; past the cap the collision is admitted anyway (the batch
+  // degrades toward legacy behavior instead of deferring unboundedly),
+  // and the draw bound keeps batch formation O(batch) per refill.
+  const size_t defer_cap = static_cast<size_t>(batch_) * 4;
+  for (uint32_t draws = 0; batch.size() < batch_ && draws < batch_ * 4;
+       ++draws) {
+    std::shared_ptr<txn::Transaction> t = driver_->Draw(e);
+    t->sched_class = sched->Classify(*t);
+    if (admissible(t->sched_class)) {
+      take(std::move(t));
+    } else if (s.deferred.size() < defer_cap) {
+      s.deferred.push_back(std::move(t));
+    } else {
+      take(std::move(t));
+    }
+  }
+  // Progress is structural: an empty `used` set admits any first draw (or
+  // any first deferred entry), so a batch is never empty.
+  CHILLER_CHECK(!batch.empty());
+  s.outstanding = static_cast<uint32_t>(batch.size());
+  for (std::shared_ptr<txn::Transaction>& t : batch) {
+    driver_->LaunchRouted(e, std::move(t));
+  }
 }
 
 void Batched::OnSlotFree(EngineId e, const txn::Transaction& t) {
@@ -230,6 +416,9 @@ StatusOr<std::unique_ptr<LoadModel>> MakeLoadModel(
     o.slots_per_engine = params.slots_per_engine;
     o.queue_cap = params.queue_cap;
     o.seed = params.seed;
+    auto policy = schedule::ParseShedPolicy(params.shed_policy);
+    if (!policy.ok()) return policy.status();
+    o.shed_policy = policy.value();
     return std::unique_ptr<LoadModel>(std::make_unique<OpenLoop>(o));
   }
   return std::unique_ptr<LoadModel>(

@@ -30,12 +30,14 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cc/driver.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "schedule/scheduler.h"
 
 namespace chiller::cc {
 
@@ -118,6 +120,10 @@ struct OpenLoopOptions {
   /// Seed for the per-engine arrival clocks (independent of the workload
   /// RNG so arrival times do not depend on transaction parameters).
   uint64_t seed = 1;
+  /// Overflow behavior of the *scheduled* admission queue (ignored on the
+  /// legacy path, which always sheds the arrival): see
+  /// schedule::ShedPolicy.
+  schedule::ShedPolicy shed_policy = schedule::ShedPolicy::kDropNew;
 };
 
 /// Open loop: arrivals at a fixed offered rate, a bounded admission queue,
@@ -141,10 +147,28 @@ class OpenLoop final : public LoadModel {
   bool UsesAdmissionQueue() const override { return true; }
 
  private:
+  /// One waiting request on the scheduled path. Unlike the legacy queue
+  /// (timestamps only — the transaction is drawn at launch), scheduled
+  /// admission draws at arrival so the scheduler can classify and steer;
+  /// the drawn transaction waits here. `counted` remembers whether this
+  /// admission landed in the current stats window, so a later shed-policy
+  /// eviction can take exactly that admission back.
+  struct ScheduledRequest {
+    std::shared_ptr<txn::Transaction> txn;
+    SimTime enqueued = 0;
+    bool counted = false;
+  };
+
   struct EngineState {
     Rng arrivals{1};             ///< arrival-clock RNG, seeded per engine
     uint32_t free_slots = 0;
-    std::deque<SimTime> queue;   ///< admission times of waiting requests
+    std::deque<SimTime> queue;   ///< legacy: admission times of waiters
+    std::deque<ScheduledRequest> sched_queue;  ///< scheduled path only
+    /// In-flight count per non-cold conflict class (class-serialized
+    /// admission under a SerializeClasses scheduler). A retry keeps its
+    /// slot and its class; release happens when the logical transaction
+    /// settles.
+    std::unordered_map<uint32_t, uint32_t> inflight_classes;
     bool initialized = false;
   };
 
@@ -152,6 +176,17 @@ class OpenLoop final : public LoadModel {
   void Arrive(EngineId e);
   /// Launches the request at the head of `e`'s queue into a free slot.
   void AdmitFromQueue(EngineId e);
+
+  // --- scheduled path (driver()->scheduler() != nullptr) ------------------
+  /// Admits `t` on engine `e`: launch if a slot is free and its class is
+  /// admissible, else queue, else run the shed policy. Runs in e's event
+  /// domain (steered arrivals get here through the fabric).
+  void AdmitScheduled(EngineId e, std::shared_ptr<txn::Transaction> t);
+  /// Launches queued requests whose class is admissible while slots are
+  /// free (first-admissible order, not strict FIFO: a blocked hot class
+  /// never starves the cold work behind it).
+  void TryAdmitScheduled(EngineId e);
+  bool ClassAdmissible(const EngineState& s, uint32_t cls) const;
 
   OpenLoopOptions opts_;
   SimTime mean_interarrival_ = 0;  ///< per engine, ns
@@ -172,9 +207,16 @@ class Batched final : public LoadModel {
  private:
   struct EngineState {
     uint32_t outstanding = 0;
+    /// batch-pack: draws whose conflict class already appears in the batch
+    /// under formation wait here for a later batch (oldest first).
+    std::deque<std::shared_ptr<txn::Transaction>> deferred;
   };
 
   void LaunchBatch(EngineId e);
+  /// Conflict-free batch formation under a classifying scheduler: oldest
+  /// deferred transactions first, then fresh draws, never two members of
+  /// the same non-cold class per batch.
+  void LaunchPackedBatch(EngineId e);
 
   uint32_t batch_;
   std::vector<EngineState> engines_;
@@ -188,6 +230,10 @@ struct LoadModelParams {
   std::string arrival = "poisson";
   uint32_t queue_cap = 64;
   uint32_t batch_size = 8;
+  /// open + scheduler: overflow policy of the scheduled admission queue
+  /// ("drop-new", "drop-cold", "drop-hot"); validated by
+  /// schedule::ValidateSchedulerParams, not here.
+  std::string shed_policy = "drop-new";
   uint64_t seed = 1;
 };
 

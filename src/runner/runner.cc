@@ -101,6 +101,12 @@ Status ScenarioRunner::Validate(const ScenarioSpec& spec) {
   Status lm_st = cc::ValidateLoadModelParams(spec.load_model,
                                              spec.MakeLoadModelParams());
   if (!lm_st.ok()) return lm_st;
+  // Same single-source rule for the admission scheduler: an unknown
+  // scheduler or shed policy, or a scheduler/load-model mismatch, fails
+  // here with an actionable message instead of falling through.
+  Status sched_st = schedule::ValidateSchedulerParams(
+      spec.scheduler, spec.shed_policy, spec.load_model);
+  if (!sched_st.ok()) return sched_st;
   if (spec.relayout_buckets == 0) {
     return Status::InvalidArgument("relayout_buckets must be >= 1");
   }
@@ -171,6 +177,22 @@ StatusOr<ScenarioEnv> ScenarioRunner::Wire(const ScenarioSpec& spec) {
   env.driver = std::make_unique<cc::Driver>(
       env.cluster.get(), env.protocol.get(), env.bundle->source(),
       std::move(model).value(), spec.seed);
+
+  // The admission scheduler. Passthrough policies (fifo) are built for
+  // validation parity but never installed: with a null scheduler the load
+  // models keep their legacy code paths, byte for byte.
+  schedule::SchedulerContext sctx;
+  sctx.num_engines = env.cluster->num_engines();
+  sctx.classes = spec.sched_classes;
+  sctx.partitioner = env.bundle->partitioner();
+  sctx.seed = spec.seed;
+  auto sched = schedule::SchedulerRegistry::Global().Make(spec.scheduler,
+                                                          sctx);
+  if (!sched.ok()) return sched.status();
+  if (!sched.value()->Passthrough()) {
+    env.scheduler = std::move(sched).value();
+    env.driver->set_scheduler(env.scheduler.get());
+  }
   return env;
 }
 

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "runner/registry.h"
 #include "runner/scenario.h"
+#include "schedule/scheduler.h"
 
 namespace chiller::runner {
 
@@ -24,6 +25,11 @@ struct ScenarioEnv {
   std::unique_ptr<cc::Cluster> cluster;
   std::unique_ptr<cc::ReplicationManager> repl;
   std::unique_ptr<cc::Protocol> protocol;
+  /// Admission scheduler the driver consults (null for passthrough
+  /// policies — fifo installs nothing, keeping legacy paths
+  /// byte-identical). Declared before driver: members destroy in reverse
+  /// order, so the driver never outlives the scheduler it points at.
+  std::unique_ptr<schedule::Scheduler> scheduler;
   std::unique_ptr<cc::Driver> driver;
 };
 

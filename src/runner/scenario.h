@@ -101,6 +101,19 @@ struct ScenarioSpec {
   /// batched: transactions admitted per engine batch.
   uint32_t batch_size = 8;
 
+  // Admission scheduler (see schedule/scheduler.h): which transaction is
+  // admitted where, ahead of the load model's when.
+  /// Registry key: "fifo" (default, byte-identical to no scheduler),
+  /// "hash-affinity" (open model), "batch-pack" (batched model).
+  std::string scheduler = "fifo";
+  /// Conflict-class universe size for classifying schedulers; 0 = a
+  /// default large enough that distinct hot records rarely share a class.
+  uint32_t sched_classes = 0;
+  /// Overflow policy of the scheduled admission queue: "drop-new"
+  /// (legacy: shed the arrival), "drop-cold", or "drop-hot". Non-default
+  /// values need a classifying scheduler.
+  std::string shed_policy = "drop-new";
+
   /// Base RNG seed: the whole scenario is a pure function of the spec.
   uint64_t seed = 1;
 
@@ -168,6 +181,7 @@ struct ScenarioSpec {
             .arrival = arrival,
             .queue_cap = queue_cap,
             .batch_size = batch_size,
+            .shed_policy = shed_policy,
             .seed = seed};
   }
 

@@ -91,6 +91,13 @@ class Transaction {
   /// queue before its first attempt launched (carried across retries). 0
   /// under closed-loop and batched admission.
   SimTime admission_delay = 0;
+  /// Predicted conflict class assigned by the admission scheduler
+  /// (schedule::Scheduler), or the cold sentinel when no conflict is
+  /// expected / no classifying scheduler is installed. Carried across
+  /// retries: a retried attempt keeps both its slot and its class, so
+  /// class-serialized admission stays consistent until the logical
+  /// transaction settles. The value matches schedule::kColdClass.
+  uint32_t sched_class = 0xffffffffu;
 
   /// Must be called once after `ops` is filled.
   void InitAccesses() { accesses.assign(ops.size(), Access{}); }

@@ -446,6 +446,69 @@ TEST(ShardDeterminismTest, OpenLoopShardsTimesJobsAreByteIdentical) {
   ExpectShardInvariance(base, SweepFingerprint);
 }
 
+/// Scheduled admission (schedule/scheduler.h): classification, cross-engine
+/// steering through the fabric, class-serialized admission, and the
+/// temperature-aware shed policies must all stay pure functions of the
+/// spec. The grid covers hash-affinity under the open model (a light point,
+/// plus an overload point where drop-cold evicts queued work) and
+/// batch-pack under the batched model.
+std::vector<runner::ScenarioSpec> SchedulerSweep() {
+  std::vector<runner::ScenarioSpec> specs;
+  for (double offered : {60000.0, 4000000.0}) {
+    runner::ScenarioSpec spec;
+    spec.workload = "ycsb";
+    spec.protocol = "2pl";
+    spec.nodes = 3;
+    spec.engines_per_node = 1;
+    spec.concurrency = 2;
+    spec.seed = 9;
+    spec.warmup = kMillisecond;
+    spec.measure = 3 * kMillisecond;
+    spec.options.Set("keys_per_partition", 1000);
+    spec.options.Set("theta", 0.95);  // hot enough that steering is busy
+    spec.load_model = "open";
+    spec.offered_tps = offered;
+    spec.queue_cap = 6;
+    spec.scheduler = "hash-affinity";
+    if (offered > 1000000.0) spec.shed_policy = "drop-cold";
+    specs.push_back(std::move(spec));
+  }
+  runner::ScenarioSpec packed;
+  packed.workload = "ycsb";
+  packed.protocol = "2pl";
+  packed.nodes = 2;
+  packed.engines_per_node = 2;
+  packed.concurrency = 3;
+  packed.seed = 13;
+  packed.warmup = kMillisecond;
+  packed.measure = 3 * kMillisecond;
+  packed.options.Set("keys_per_partition", 1000);
+  packed.options.Set("theta", 0.99);
+  packed.load_model = "batched";
+  packed.batch_size = 6;
+  packed.scheduler = "batch-pack";
+  specs.push_back(std::move(packed));
+  return specs;
+}
+
+TEST(ShardDeterminismTest, SchedulerPoliciesShardsTimesJobsAreByteIdentical) {
+  const auto specs = SchedulerSweep();
+  ExpectShardInvariance(specs, SweepFingerprint);
+  // The grid must actually exercise the machinery: the overload point
+  // sheds, every point commits.
+  const auto results = runner::SweepExecutor(1).Run(specs);
+  bool any_shed = false;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r->stats.TotalCommits(), 0u);
+    if (r->spec.offered_tps > 1000000.0) {
+      EXPECT_GT(r->stats.shed, 0u);
+      any_shed = true;
+    }
+  }
+  EXPECT_TRUE(any_shed);
+}
+
 TEST(ShardDeterminismTest,
      ContinuousMigrationShardsTimesJobsAreByteIdentical) {
   // One live-migrate phase plan and the continuous-controller spec: bucket
