@@ -97,6 +97,7 @@ std::string UsageString(const std::string& bench_name,
         "  --list-protocols    print registered protocols and exit\n"
         "  --list-workloads    print registered workloads and exit\n"
         "  --list-schedulers   print registered schedulers and exit\n"
+        "  --list-shed-policies  print shed policies and exit\n"
         "  --help              show this message\n",
         bench_name.c_str(), protocols.c_str(), d.protocol.c_str(), d.nodes,
         d.engines, d.concurrency, d.warmup_ms, d.duration_ms, d.theta,
@@ -130,6 +131,8 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
       out->list_workloads = true;
     } else if (name == "list-schedulers") {
       out->list_schedulers = true;
+    } else if (name == "list-shed-policies") {
+      out->list_shed_policies = true;
     } else if (name == "no-json") {
       out->emit_json = false;
     } else if (name == "protocol") {
@@ -238,7 +241,8 @@ BenchFlags ParseBenchFlagsOrExit(int argc, const char* const* argv,
     std::fputs(UsageString(bench_name, defaults).c_str(), stdout);
     std::exit(0);
   }
-  if (flags.list_protocols || flags.list_workloads || flags.list_schedulers) {
+  if (flags.list_protocols || flags.list_workloads || flags.list_schedulers ||
+      flags.list_shed_policies) {
     if (flags.list_protocols) {
       for (const auto& n : runner::ProtocolRegistry::Global().Names()) {
         std::printf("%s\n", n.c_str());
@@ -252,6 +256,15 @@ BenchFlags ParseBenchFlagsOrExit(int argc, const char* const* argv,
     if (flags.list_schedulers) {
       for (const auto& n : schedule::SchedulerRegistry::Global().Names()) {
         std::printf("%s\n", n.c_str());
+      }
+    }
+    if (flags.list_shed_policies) {
+      // ShedPolicy is a closed enum, not a registry; enumerate it here so
+      // the flag keeps parity with the registry-backed --list-* flags.
+      for (const auto policy :
+           {schedule::ShedPolicy::kDropNew, schedule::ShedPolicy::kDropCold,
+            schedule::ShedPolicy::kDropHot}) {
+        std::printf("%s\n", schedule::ShedPolicyName(policy));
       }
     }
     std::exit(0);

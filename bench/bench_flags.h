@@ -31,6 +31,7 @@
 //   --list-protocols      print the protocol registry, one per line, exit 0
 //   --list-workloads      print the workload registry, one per line, exit 0
 //   --list-schedulers     print the scheduler registry, one per line, exit 0
+//   --list-shed-policies  print the shed policies, one per line, exit 0
 //   --help                print usage and exit 0
 //
 // Benches sweep their own x-axis (concurrency, partitions, % distributed);
@@ -96,6 +97,7 @@ struct BenchFlags {
   bool list_protocols = false;  ///< print registry + exit (handled by OrExit)
   bool list_workloads = false;  ///< print registry + exit (handled by OrExit)
   bool list_schedulers = false; ///< print registry + exit (handled by OrExit)
+  bool list_shed_policies = false;  ///< print policies + exit (via OrExit)
 
   /// The --json override, or the default path for `bench_name`.
   std::string JsonPathFor(const std::string& bench_name) const {

@@ -6,7 +6,10 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/zipf.h"
+#include "migrate/migration_plan.h"
+#include "migrate/relayout.h"
 #include "partition/contention_model.h"
+#include "partition/lookup_table.h"
 #include "partition/multilevel_partitioner.h"
 #include "partition/stats_collector.h"
 #include "partition/workload_graph.h"
@@ -181,6 +184,68 @@ void BM_SchedulerRoute(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SchedulerRoute);
+
+/// The migration planner's full-cluster placement diff: walk every primary
+/// record, compare the live and target layouts, and group the movers into
+/// per-relayout-bucket units. Runs once per replan decision (every
+/// controller epoch that trips the drift threshold), so it must stay cheap
+/// next to the simulated relayout it schedules.
+void BM_MigrationPlanDiff(benchmark::State& state) {
+  runner::ScenarioSpec spec;
+  spec.workload = "ycsb";
+  spec.nodes = 4;
+  spec.options.Set("keys_per_partition", 2000);
+  auto env = runner::ScenarioRunner::Wire(spec);
+  CHILLER_CHECK(env.ok()) << env.status().ToString();
+  // Target layout: every 10th record re-homed one partition over — the
+  // shape of a modest replan (most records stay put).
+  auto target = std::make_unique<partition::LookupPartitioner>(
+      std::make_unique<partition::HashPartitioner>(spec.partitions()));
+  uint64_t i = 0;
+  for (PartitionId p = 0; p < spec.partitions(); ++p) {
+    env->cluster->primary(p)->ForEach(
+        [&](const RecordId& rid, const storage::Record&) {
+          if (i++ % 10 == 0) {
+            target->Assign(rid, (p + 1) % spec.partitions());
+          }
+        });
+  }
+  for (auto _ : state) {
+    auto plan = migrate::MigrationPlan::Diff(env->cluster.get(), *target,
+                                             /*num_buckets=*/64);
+    benchmark::DoNotOptimize(plan.units.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          env->cluster->TotalPrimaryRecords());
+}
+BENCHMARK(BM_MigrationPlanDiff)->Unit(benchmark::kMicrosecond);
+
+/// The protocol-side migration gate: every record access of every
+/// transaction probes BucketLockTable::IsMigrating while a relayout epoch
+/// is live — with several buckets locked (the concurrent-streams shape)
+/// and one storage bucket frozen, the worst realistic case.
+void BM_BucketLockProbe(benchmark::State& state) {
+  migrate::BucketLockTable locks;
+  locks.BeginEpoch(/*num_buckets=*/64);
+  for (migrate::BucketId b : {3u, 17u, 31u, 58u}) locks.Acquire(b);
+  locks.FreezeStorageBucket({PartitionId{1}, TableId{0}, size_t{42}});
+  Rng rng(23);
+  std::vector<RecordId> rids;
+  rids.reserve(1024);
+  for (int i = 0; i < 1024; ++i) {
+    rids.push_back(RecordId{0, rng.Uniform(1u << 20)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(locks.IsMigrating(rids[i]));
+    i = (i + 1) % rids.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  for (migrate::BucketId b : {3u, 17u, 31u, 58u}) locks.Release(b);
+  locks.UnfreezeStorageBucket({PartitionId{1}, TableId{0}, size_t{42}});
+  locks.EndEpoch();
+}
+BENCHMARK(BM_BucketLockProbe);
 
 void BM_MultilevelPartition(benchmark::State& state) {
   const uint32_t n = static_cast<uint32_t>(state.range(0));

@@ -112,6 +112,7 @@ void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
   if (t->outcome == txn::Outcome::kCommitted) {
     ++es.commits;
     es.latency_ns += t->end_time - t->start_time;
+    es.window_latency.Add(t->end_time - t->start_time);
   } else if (t->outcome == txn::Outcome::kAbortConflict &&
              t->blocked_by_migration) {
     ++es.migration_aborts;
@@ -186,6 +187,15 @@ uint64_t Driver::lifetime_migration_aborts() const {
   uint64_t total = 0;
   for (const EngineState& es : per_engine_) total += es.migration_aborts;
   return total;
+}
+
+Histogram Driver::TakeCommitLatencyWindow() {
+  Histogram merged;
+  for (EngineState& es : per_engine_) {
+    merged.Merge(es.window_latency);
+    es.window_latency.Reset();
+  }
+  return merged;
 }
 
 void Driver::Start() {

@@ -133,6 +133,14 @@ class Driver {
   /// Attempts aborted by the live-migration bucket gate since construction.
   uint64_t lifetime_migration_aborts() const;
 
+  /// Commit-latency histogram accumulated since the previous call (or
+  /// construction), merged across engines and then cleared — the migration
+  /// governor takes one window per controller epoch to read the epoch's
+  /// foreground p99. Like the lifetime counters it fills regardless of the
+  /// measuring toggle. Control-plane only: it reads and resets every
+  /// engine's shard.
+  Histogram TakeCommitLatencyWindow();
+
   /// The injected policy (never null).
   const LoadModel& load_model() const { return *model_; }
 
@@ -219,6 +227,7 @@ class Driver {
     uint64_t commits = 0;
     uint64_t latency_ns = 0;
     uint64_t migration_aborts = 0;
+    Histogram window_latency;  ///< drained by TakeCommitLatencyWindow()
   };
 
   void OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t);

@@ -10,6 +10,14 @@
 
 namespace chiller::migrate {
 
+namespace {
+
+/// Settled-epoch probes thinner than this are too noisy to judge a regime
+/// shift; skip the comparison and keep the baseline.
+constexpr size_t kMinProbeTraces = 8;
+
+}  // namespace
+
 AdaptiveController::AdaptiveController(cc::Driver* driver,
                                        cc::Cluster* cluster,
                                        cc::ReplicationManager* repl,
@@ -25,9 +33,58 @@ AdaptiveController::AdaptiveController(cc::Driver* driver,
   CHILLER_CHECK(opts_.drift_threshold >= 0.0);
   CHILLER_CHECK(opts_.hysteresis_epochs >= 1);
   CHILLER_CHECK(opts_.relayout_buckets >= 1);
+  CHILLER_CHECK(opts_.rearm_threshold >= 0.0);
+  if (opts_.governor) {
+    // The governor's option checks fire here, at construction.
+    governor_ = std::make_unique<MigrationGovernor>(
+        opts_.governor_opts, std::max<uint32_t>(1, opts_.migrator.streams));
+  }
 }
 
 AdaptiveController::~AdaptiveController() = default;
+
+void AdaptiveController::BeginEpoch() {
+  const bool migrating = migrator_ != nullptr && !migrator_->done();
+  if (!report_.settled && !migrating) {
+    // One collector for the whole hunt — the statistics service's view of
+    // the workload only grows (paper Section 4.1), which is what lets a
+    // stable workload converge: single-epoch samples are thin enough
+    // that every fresh candidate would genuinely beat the last noisy
+    // one, and the loop would churn forever. A re-arm retires it, so a
+    // shifted regime is not anchored by the old one's traces.
+    if (collector_ == nullptr) {
+      collector_ = std::make_unique<partition::StatsCollector>(
+          opts_.sample_rate, opts_.seed);
+      collector_->set_retain_traces(true);
+      // Commit observers fire from the committing engine's shard
+      // thread; per-engine shards keep the sampled stream independent
+      // of the simulator's shard count.
+      collector_->EnableEngineSharding(cluster_->num_engines());
+    }
+    partition::StatsCollector* stats = collector_.get();
+    driver_->SetCommitObserver(
+        [stats](const txn::Transaction& t) { stats->Observe(t); });
+  } else if (report_.settled && opts_.rearm_threshold > 0.0) {
+    // Drift probe: a fresh collector per settled epoch, so the live
+    // layout's residual is scored on *current* traffic only. Seed salted
+    // per epoch to decorrelate the probes' sampling streams.
+    probe_ = std::make_unique<partition::StatsCollector>(
+        opts_.sample_rate,
+        opts_.seed ^ (0x9e3779b97f4a7c15ull * (report_.epochs + 1)));
+    probe_->set_retain_traces(true);
+    probe_->EnableEngineSharding(cluster_->num_engines());
+    partition::StatsCollector* stats = probe_.get();
+    driver_->SetCommitObserver(
+        [stats](const txn::Transaction& t) { stats->Observe(t); });
+  }
+  if (migrating && governor_ != nullptr) {
+    // Epoch-start snapshots for the governor's signals; draining the
+    // latency window here scopes its p99 to this epoch alone.
+    epoch_commits_ = driver_->lifetime_commits();
+    epoch_aborts_ = driver_->lifetime_migration_aborts();
+    driver_->TakeCommitLatencyWindow();
+  }
+}
 
 StatusOr<SimTime> AdaptiveController::RunFor(
     SimTime duration, const std::function<void(SimTime)>& advance) {
@@ -42,26 +99,7 @@ StatusOr<SimTime> AdaptiveController::RunFor(
   SimTime advanced = 0;
   while (advanced < duration) {
     const SimTime this_step = std::min(opts_.period, duration - advanced);
-    const bool migrating = migrator_ != nullptr && !migrator_->done();
-    if (!report_.settled && !migrating) {
-      // One collector for the whole run — the statistics service's view of
-      // the workload only grows (paper Section 4.1), which is what lets a
-      // stable workload converge: single-epoch samples are thin enough
-      // that every fresh candidate would genuinely beat the last noisy
-      // one, and the loop would churn forever.
-      if (collector_ == nullptr) {
-        collector_ = std::make_unique<partition::StatsCollector>(
-            opts_.sample_rate, opts_.seed);
-        collector_->set_retain_traces(true);
-        // Commit observers fire from the committing engine's shard
-        // thread; per-engine shards keep the sampled stream independent
-        // of the simulator's shard count.
-        collector_->EnableEngineSharding(cluster_->num_engines());
-      }
-      partition::StatsCollector* stats = collector_.get();
-      driver_->SetCommitObserver(
-          [stats](const txn::Transaction& t) { stats->Observe(t); });
-    }
+    BeginEpoch();
     step(this_step);
     advanced += this_step;
     ++report_.epochs;
@@ -71,6 +109,7 @@ StatusOr<SimTime> AdaptiveController::RunFor(
   // Never hand control back mid-transition: routing must be collapsed
   // before the caller reads final state.
   while (migrator_ != nullptr && !migrator_->done()) {
+    BeginEpoch();
     step(opts_.period);
     advanced += opts_.period;
     ++report_.epochs;
@@ -99,14 +138,38 @@ void AdaptiveController::CloseEpoch() {
         driver_->lifetime_commits() - commits_at_start_;
     report_.window_aborts +=
         driver_->lifetime_migration_aborts() - aborts_at_start_;
+    report_.peak_streams =
+        std::max(report_.peak_streams, ms.peak_streams);
     migrator_.reset();
     return;
   }
-  if (report_.settled || migrator_ != nullptr) return;
+  if (migrator_ != nullptr) {
+    // Mid-relayout epoch: no replanning (nothing sampled), but the
+    // governor folds this epoch's foreground signals into the stream
+    // width. The decision is a pure function of shard-invariant counters,
+    // so governed runs stay byte-identical for any shard count.
+    if (governor_ != nullptr) {
+      GovernorSignals signals;
+      signals.commits = driver_->lifetime_commits() - epoch_commits_;
+      signals.migration_aborts =
+          driver_->lifetime_migration_aborts() - epoch_aborts_;
+      const Histogram window = driver_->TakeCommitLatencyWindow();
+      signals.p99 =
+          window.count() == 0 ? 0 : window.Percentile(99.0);
+      migrator_->SetTargetStreams(governor_->Decide(signals));
+      report_.governor_widens = governor_->report().widens;
+      report_.governor_narrows = governor_->report().narrows;
+    }
+    return;
+  }
+  if (report_.settled) {
+    MaybeRearm();
+    return;
+  }
   if (collector_ == nullptr) return;
 
   driver_->SetCommitObserver(nullptr);
-  report_.sampled_txns = collector_->sampled_txns();
+  report_.sampled_txns = sampled_retired_ + collector_->sampled_txns();
 
   // Holdout split over the cumulative trace set: the candidate trains on
   // the even-indexed traces and both layouts are scored on the odd-indexed
@@ -142,6 +205,15 @@ void AdaptiveController::CloseEpoch() {
       eval, *out.partitioner, *collector_, opts_.lock_window_txns);
   const double drift =
       live_cost <= 0.0 ? 0.0 : (live_cost - cand_cost) / live_cost;
+  report_.last_drift = drift;
+
+  if (opts_.shadow) {
+    // Zero-risk observer: the candidate is scored (last_drift shows what a
+    // relayout would gain) but never executed, and the loop never settles
+    // — it keeps scoring for the whole run.
+    ++report_.shadow_evals;
+    return;
+  }
 
   MigrationPlan plan;
   if (drift > opts_.drift_threshold) {
@@ -161,6 +233,50 @@ void AdaptiveController::CloseEpoch() {
     ++report_.migrations;
   } else if (++calm_epochs_ >= opts_.hysteresis_epochs) {
     report_.settled = true;
+    // The calm-state baseline comes from the first settled probe (same
+    // estimator as every later probe, so the comparison is unbiased),
+    // not from this epoch's cumulative holdout.
+    baseline_residual_ = 0.0;
+  }
+}
+
+void AdaptiveController::MaybeRearm() {
+  if (opts_.rearm_threshold <= 0.0 || probe_ == nullptr) return;
+  driver_->SetCommitObserver(nullptr);
+  std::unique_ptr<partition::StatsCollector> probe = std::move(probe_);
+  sampled_retired_ += probe->sampled_txns();
+  report_.sampled_txns =
+      sampled_retired_ +
+      (collector_ != nullptr ? collector_->sampled_txns() : 0);
+  const std::vector<partition::TxnAccessTrace>& traces = probe->traces();
+  if (traces.size() < kMinProbeTraces) return;
+  // Per-trace normalization: ResidualContention sums over traces, and
+  // probes of different epochs catch different trace counts.
+  const double live_residual =
+      partition::ResidualContention(traces, *live_, *probe,
+                                    opts_.lock_window_txns) /
+      static_cast<double>(traces.size());
+  if (baseline_residual_ <= 0.0 || live_residual < baseline_residual_) {
+    // First probe after settling, or a calmer epoch than any seen: this is
+    // the calm-state estimate. Ratcheting down (never up) keeps a slow
+    // worsening from dragging the baseline along with it.
+    baseline_residual_ = live_residual;
+    return;
+  }
+  const double shift =
+      (live_residual - baseline_residual_) / baseline_residual_;
+  if (shift > opts_.rearm_threshold) {
+    // Regime shift: re-arm the full sample -> replan -> migrate loop. The
+    // cumulative collector is retired with its traces — the old regime
+    // would anchor every candidate the new one trains.
+    ++report_.rearms;
+    report_.settled = false;
+    calm_epochs_ = 0;
+    baseline_residual_ = 0.0;
+    if (collector_ != nullptr) {
+      sampled_retired_ += collector_->sampled_txns();
+      collector_.reset();
+    }
   }
 }
 

@@ -10,8 +10,24 @@
 // the threshold starts a LiveMigrator (traffic keeps flowing; the
 // controller skips replanning while a relayout is in flight). Hysteresis:
 // after `hysteresis_epochs` consecutive calm epochs the controller settles
-// — sampling and replanning stop until the run ends, so a stable workload
-// pays nothing.
+// — sampling and replanning stop, so a stable workload pays nothing.
+//
+// Three extensions on that loop:
+//
+//   * governor — while a relayout is in flight, a MigrationGovernor reads
+//     the epoch's foreground signals (commit-latency p99 from the driver's
+//     latency window, migration-abort share from the lifetime counters)
+//     and retunes the migrator's concurrent stream width each epoch;
+//   * re-arm (rearm_threshold > 0) — settling stops being terminal: every
+//     settled epoch attaches a fresh probe collector, scores the live
+//     layout's per-trace residual contention on the probe, and compares it
+//     with the calm-state baseline (the best probe seen since settling). A
+//     relative worsening beyond the threshold (hot-set rotation, diurnal
+//     swing) re-arms sample -> replan -> migrate, discarding the old
+//     regime's cumulative traces;
+//   * shadow — the loop samples and scores candidates every epoch but
+//     never starts a migrator and never settles: a zero-risk observer
+//     whose drift readings show what the layout *would* gain.
 #ifndef CHILLER_MIGRATE_ADAPTIVE_CONTROLLER_H_
 #define CHILLER_MIGRATE_ADAPTIVE_CONTROLLER_H_
 
@@ -22,6 +38,7 @@
 #include "cc/replication.h"
 #include "common/status.h"
 #include "migrate/live_migrator.h"
+#include "migrate/migration_governor.h"
 #include "partition/lookup_table.h"
 #include "partition/stats_collector.h"
 
@@ -47,7 +64,19 @@ struct AdaptiveControllerOptions {
   double lock_window_txns = 16.0;
   /// Relayout bucket count for plans and the lock-table epoch.
   uint32_t relayout_buckets = 64;
+  /// migrator.streams is the relayout width at Start (and the governor's
+  /// starting point when the governor is enabled).
   LiveMigratorOptions migrator;
+  /// Attach a MigrationGovernor: every mid-relayout epoch retunes the
+  /// stream width against the foreground SLO in governor_opts.
+  bool governor = false;
+  MigrationGovernorOptions governor_opts;
+  /// Relative worsening of the live layout's per-trace residual contention
+  /// (vs the calm-state baseline probed after settling) that re-arms the
+  /// loop. 0 keeps the legacy behavior: settling is terminal.
+  double rearm_threshold = 0.0;
+  /// Score candidates every epoch but never migrate and never settle.
+  bool shadow = false;
   /// Seed for the epoch collectors (stream-split per epoch).
   uint64_t seed = 1;
 };
@@ -73,6 +102,12 @@ struct AdaptiveControllerReport {
   uint64_t window_commits = 0;
   uint64_t window_aborts = 0;
   bool settled = false;          ///< hysteresis tripped; loop went quiet
+  uint32_t rearms = 0;           ///< settled -> re-armed transitions
+  uint32_t shadow_evals = 0;     ///< shadow-mode candidate scorings
+  double last_drift = 0.0;       ///< most recent replan's drift reading
+  uint32_t peak_streams = 0;     ///< max concurrent streams, any relayout
+  uint32_t governor_widens = 0;
+  uint32_t governor_narrows = 0;
 };
 
 class AdaptiveController {
@@ -96,9 +131,17 @@ class AdaptiveController {
   const AdaptiveControllerReport& report() const { return report_; }
 
  private:
+  /// Arms the epoch's observer (cumulative collector while hunting, probe
+  /// collector while settled with re-arm) and snapshots the governor's
+  /// epoch-start counters when a relayout is in flight.
+  void BeginEpoch();
   /// Ends the epoch: detach sampling, replan, measure drift, maybe start a
-  /// relayout, update hysteresis.
+  /// relayout, update hysteresis. Governs the stream width instead while a
+  /// relayout is in flight, and probes for re-arm while settled.
   void CloseEpoch();
+  /// Settled-epoch drift probe: compare the probe collector's live-layout
+  /// residual with the calm-state baseline, re-arm past the threshold.
+  void MaybeRearm();
 
   cc::Driver* driver_;
   cc::Cluster* cluster_;
@@ -108,7 +151,18 @@ class AdaptiveController {
 
   std::unique_ptr<partition::StatsCollector> collector_;
   std::unique_ptr<LiveMigrator> migrator_;
+  std::unique_ptr<MigrationGovernor> governor_;
+  /// Fresh per-epoch collector while settled with re-arm enabled.
+  std::unique_ptr<partition::StatsCollector> probe_;
   uint32_t calm_epochs_ = 0;
+  /// Calm-state per-trace residual of the live layout, ratcheted down over
+  /// settled epochs; 0 until the first settled probe lands.
+  double baseline_residual_ = 0.0;
+  /// sampled_txns() of collectors already retired (re-arm discards them).
+  uint64_t sampled_retired_ = 0;
+  // Governor epoch-start snapshots (lifetime counters).
+  uint64_t epoch_commits_ = 0;
+  uint64_t epoch_aborts_ = 0;
   // In-flight relayout bookkeeping (see the window fields of the report).
   SimTime migration_start_ = 0;
   uint64_t commits_at_start_ = 0;

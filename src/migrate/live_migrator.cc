@@ -49,17 +49,42 @@ Status LiveMigrator::Start(
   plan_ = std::move(plan);
   stats_ = LiveMigrationStats{};
   start_time_ = cluster_->sim()->now();
+  outstanding_.assign(plan_.units.size(), 0);
+  next_unit_ = 0;
+  active_units_ = 0;
+  target_streams_ = std::max<uint32_t>(1, opts_.streams);
   running_ = true;
   done_ = false;
 
   live_->BeginTransition(std::move(next), plan_.num_buckets);
   locks_->BeginEpoch(plan_.num_buckets);
-  if (plan_.units.empty()) {
-    FinishAll();
-    return Status::OK();
-  }
-  BeginUnit(0);
+  PumpStreams();  // fills the first min(streams, units) slots; an empty
+                  // plan closes the epoch right here
   return Status::OK();
+}
+
+void LiveMigrator::SetTargetStreams(uint32_t streams) {
+  target_streams_ = std::max<uint32_t>(1, streams);
+  if (running_) PumpStreams();
+}
+
+void LiveMigrator::PumpStreams() {
+  if (pumping_) return;
+  pumping_ = true;
+  while (running_ && active_units_ < target_streams_ &&
+         next_unit_ < plan_.units.size()) {
+    ++active_units_;
+    stats_.peak_streams = std::max(stats_.peak_streams,
+                                   static_cast<uint32_t>(active_units_));
+    // BeginUnit can finish synchronously (all planned moves vanished) and
+    // re-enter PumpStreams; the guard makes that a no-op and the loop
+    // condition re-reads the decremented active_units_.
+    BeginUnit(next_unit_++);
+  }
+  pumping_ = false;
+  if (running_ && active_units_ == 0 && next_unit_ == plan_.units.size()) {
+    FinishAll();
+  }
 }
 
 void LiveMigrator::BeginUnit(size_t u) {
@@ -110,7 +135,7 @@ void LiveMigrator::LaunchBatches(size_t u) {
     return;
   }
 
-  unit_outstanding_ = batches.size();
+  outstanding_[u] = batches.size();
   for (auto& batch : batches) {
     const PartitionId from = batch->moves.front().from;
     const PartitionId to = batch->moves.front().to;
@@ -226,7 +251,7 @@ void LiveMigrator::TryCompleteBatch(std::shared_ptr<Batch> batch) {
     // primary's replicas drop their stale copies. Sourcing the erases at
     // the old primary's engine keeps them FIFO-behind any commit
     // replication still in flight from pre-lock transactions.
-    unit_outstanding_ += 2;
+    outstanding_[u] += 2;
     // The acks land in the ack engines' domains; OnUnitEvent mutates
     // migrator state and may flip the bucket, so bounce it to control.
     repl_->Replicate(to_engine, to, std::move(puts), to_engine, [this, u]() {
@@ -242,8 +267,8 @@ void LiveMigrator::TryCompleteBatch(std::shared_ptr<Batch> batch) {
 }
 
 void LiveMigrator::OnUnitEvent(size_t u) {
-  CHILLER_CHECK(unit_outstanding_ > 0);
-  if (--unit_outstanding_ == 0) FinishUnit(u);
+  CHILLER_CHECK(outstanding_[u] > 0);
+  if (--outstanding_[u] == 0) FinishUnit(u);
 }
 
 void LiveMigrator::FinishUnit(size_t u) {
@@ -253,11 +278,12 @@ void LiveMigrator::FinishUnit(size_t u) {
   live_->FlipBucket(plan_.units[u].bucket);
   locks_->Release(plan_.units[u].bucket);
   ++stats_.buckets_moved;
-  if (u + 1 < plan_.units.size()) {
-    BeginUnit(u + 1);
-  } else {
-    FinishAll();
-  }
+  CHILLER_CHECK(active_units_ > 0);
+  --active_units_;
+  // Refill the freed slot from the plan cursor (or close the epoch if this
+  // was the last unit). With target_streams_ == 1 this is exactly the old
+  // sequential BeginUnit(u + 1) walk, event for event.
+  PumpStreams();
 }
 
 void LiveMigrator::FinishAll() {

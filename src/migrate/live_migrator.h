@@ -2,15 +2,17 @@
 // concurrently with transaction traffic.
 //
 // Where cc::MigrateToLayout quiesces the whole cluster and moves everything
-// in one stop-the-world pause, the LiveMigrator walks a MigrationPlan one
-// relayout bucket at a time:
+// in one stop-the-world pause, the LiveMigrator streams a MigrationPlan
+// through up to `streams` relayout buckets concurrently (k = 1 degenerates
+// to the classic one-bucket-at-a-time walk, event for event). Each
+// in-flight bucket advances independently through the same pipeline:
 //
 //   1. lock the bucket in the cluster's BucketLockTable — transactions
 //      touching it abort with the dedicated migration abort class and
 //      retry through their load model's backoff; all other traffic flows;
 //   2. ship the bucket's moves as per-(from,to) batches over the RPC layer
 //      (paying the same simulated transfer + install cost per batch as the
-//      quiesced path);
+//      quiesced path); batches of different buckets overlap in flight;
 //   3. at each batch's arrival, atomically extract + install its records —
 //      a single simulator event, so record conservation and single
 //      residency hold at every observable instant. Storage-bucket lock
@@ -22,6 +24,24 @@
 //   5. once every batch and replica ack of the bucket has settled, flip the
 //      bucket's entry in the SwappablePartitioner and release its lock in
 //      the same event — routing and physical placement never disagree.
+//      That unlock event also pulls the next unstarted bucket into the
+//      freed stream slot.
+//
+// Escalation (storage-bucket freezes) is per batch and therefore per
+// stream: concurrent buckets never share a freeze — the
+// IsStorageBucketFrozen guard keeps ownership exclusive even when two
+// streams collide on the same storage bucket.
+//
+// The stream width is live: SetTargetStreams(k) widens immediately (idle
+// slots fill from the plan cursor in the same control event) and narrows
+// by attrition (in-flight buckets finish; no new ones start until the
+// width is below target). The MigrationGovernor drives this knob each
+// controller epoch against the foreground SLO.
+//
+// Every migrator mutation runs as a control-plane event with the canonical
+// (time, domain, origin, seq) order, so k > 1 changes wall-clock shape
+// only through the simulated overlap — results stay byte-identical for
+// any shard count.
 //
 // When the last unit finishes, the partitioner transition collapses
 // (buckets without placement diffs flip implicitly) and the epoch closes.
@@ -59,6 +79,10 @@ struct LiveMigratorOptions {
   /// guaranteed to terminate (the relayout-bucket gate alone cannot stop
   /// those keys).
   uint32_t freeze_after_retries = 16;
+  /// Relayout buckets streamed concurrently (k). 1 reproduces the legacy
+  /// sequential walk event for event; SetTargetStreams can retune a
+  /// running relayout (the governor's knob).
+  uint32_t streams = 1;
 };
 
 /// Accounting beyond the shared MigrationStats shape.
@@ -69,12 +93,14 @@ struct LiveMigrationStats {
   uint64_t freezes = 0;          ///< batches that escalated to a freeze
   uint64_t skipped_records = 0;  ///< planned moves whose record vanished
   uint32_t buckets_moved = 0;    ///< units completed (locked -> flipped)
+  uint32_t peak_streams = 0;     ///< max buckets concurrently in flight
 };
 
 /// One live relayout execution. Drive it by advancing the cluster's
 /// simulator (e.g. cc::Driver::Advance) after Start(): all migrator work
 /// runs as simulator events interleaved with transaction traffic. One
-/// relayout at a time per cluster (the BucketLockTable enforces it).
+/// relayout at a time per cluster (the BucketLockTable enforces it),
+/// with up to target_streams() buckets of that relayout in flight at once.
 class LiveMigrator {
  public:
   LiveMigrator(cc::Cluster* cluster, cc::ReplicationManager* repl,
@@ -82,11 +108,24 @@ class LiveMigrator {
                LiveMigratorOptions options = {});
 
   /// Stages `next` as the incoming layout (per-bucket indirection on
-  /// `live`), opens the lock-table epoch, and schedules the first unit.
-  /// `plan` must have been diffed against `next` over the same bucket
-  /// count. FailedPrecondition if a relayout is already in flight.
+  /// `live`), opens the lock-table epoch, and schedules the first
+  /// min(streams, units) buckets. `plan` must have been diffed against
+  /// `next` over the same bucket count. FailedPrecondition if a relayout
+  /// is already in flight.
   Status Start(MigrationPlan plan,
                std::unique_ptr<partition::RecordPartitioner> next);
+
+  /// Retunes the concurrent stream width mid-relayout. Widening takes
+  /// effect immediately (idle slots fill in this call); narrowing decays
+  /// as in-flight buckets finish. Clamped to >= 1. Control-plane only —
+  /// call it from outside the simulation or from a control event, like
+  /// every other migrator entry point.
+  void SetTargetStreams(uint32_t streams);
+  uint32_t target_streams() const { return target_streams_; }
+  /// Buckets currently locked + in flight.
+  uint32_t active_streams() const {
+    return static_cast<uint32_t>(active_units_);
+  }
 
   /// True once every unit has flipped and the epoch is closed.
   bool done() const { return done_; }
@@ -104,6 +143,11 @@ class LiveMigrator {
     std::vector<BucketLockTable::StorageBucketKey> frozen;
   };
 
+  /// Starts unstarted units until the width reaches target_streams_ (or
+  /// the plan cursor runs out), then closes the epoch when nothing is
+  /// left. Reentrant-safe: a unit whose batches all vanished finishes
+  /// synchronously inside BeginUnit and re-enters here.
+  void PumpStreams();
   void BeginUnit(size_t u);
   void LaunchBatches(size_t u);
   void TryCompleteBatch(std::shared_ptr<Batch> batch);
@@ -120,7 +164,13 @@ class LiveMigrator {
   MigrationPlan plan_;
   LiveMigrationStats stats_;
   SimTime start_time_ = 0;
-  size_t unit_outstanding_ = 0;  ///< unmoved batches + unacked streams
+  /// Per-unit unmoved batches + unacked replica streams; indexed like
+  /// plan_.units so concurrent buckets never share a counter.
+  std::vector<size_t> outstanding_;
+  size_t next_unit_ = 0;    ///< plan cursor: first unstarted unit
+  size_t active_units_ = 0; ///< units locked + in flight right now
+  uint32_t target_streams_ = 1;
+  bool pumping_ = false;    ///< PumpStreams reentrancy guard
   bool running_ = false;
   bool done_ = false;
 };

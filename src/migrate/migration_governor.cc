@@ -1,0 +1,41 @@
+#include "migrate/migration_governor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace chiller::migrate {
+
+MigrationGovernor::MigrationGovernor(MigrationGovernorOptions options,
+                                     uint32_t initial_streams)
+    : opts_(options) {
+  CHILLER_CHECK(opts_.min_streams >= 1);
+  CHILLER_CHECK(opts_.min_streams <= opts_.max_streams);
+  CHILLER_CHECK(opts_.max_abort_share >= 0.0 && opts_.max_abort_share <= 1.0);
+  target_ = std::clamp(initial_streams, opts_.min_streams, opts_.max_streams);
+}
+
+uint32_t MigrationGovernor::Decide(const GovernorSignals& signals) {
+  ++report_.decisions;
+  const uint64_t outcomes = signals.commits + signals.migration_aborts;
+  const double abort_share =
+      outcomes == 0
+          ? 0.0
+          : static_cast<double>(signals.migration_aborts) /
+                static_cast<double>(outcomes);
+  const bool latency_violated =
+      opts_.p99_budget > 0 && signals.p99 > opts_.p99_budget;
+  const bool aborts_violated = abort_share > opts_.max_abort_share;
+  if (latency_violated || aborts_violated) {
+    const uint32_t next = std::max(opts_.min_streams, target_ / 2);
+    if (next < target_) ++report_.narrows;
+    target_ = next;
+  } else {
+    const uint32_t next = std::min(opts_.max_streams, target_ + 1);
+    if (next > target_) ++report_.widens;
+    target_ = next;
+  }
+  return target_;
+}
+
+}  // namespace chiller::migrate

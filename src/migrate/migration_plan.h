@@ -1,8 +1,8 @@
 // MigrationPlan: the diff between the cluster's current physical record
 // placement and a target layout, grouped into per-relayout-bucket move
 // units — the schedule both migration paths execute (cc::MigrateToLayout
-// runs the whole plan under a quiesced cluster; migrate::LiveMigrator runs
-// it one bucket at a time under live traffic).
+// runs the whole plan under a quiesced cluster; migrate::LiveMigrator
+// streams up to `streams` buckets of it concurrently under live traffic).
 #ifndef CHILLER_MIGRATE_MIGRATION_PLAN_H_
 #define CHILLER_MIGRATE_MIGRATION_PLAN_H_
 

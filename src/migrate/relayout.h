@@ -2,9 +2,9 @@
 //
 // A relayout epoch partitions the record-id space into `num_buckets`
 // hash buckets (independent of the storage-level hash buckets inside a
-// Table). The LiveMigrator moves one relayout bucket at a time; the
-// BucketLockTable below is the coordination point between the migrator and
-// the execution protocols: while a bucket is in flight, any transaction
+// Table). The LiveMigrator streams up to k relayout buckets concurrently;
+// the BucketLockTable below is the coordination point between the migrator
+// and the execution protocols: while a bucket is in flight, any transaction
 // access landing in it aborts with the dedicated migration abort class
 // (txn::Transaction::blocked_by_migration) and retries through the load
 // model's normal backoff, while traffic on every other bucket flows freely.
@@ -76,8 +76,14 @@ class BucketLockTable {
   /// opening an epoch (see ever_active()).
   void NoteLayoutMutation() { ever_active_ = true; }
 
-  /// Marks bucket `b` in flight. The migrator holds one bucket at a time,
-  /// but the table supports several for forward compatibility.
+  /// Marks bucket `b` in flight. Multi-bucket contract: the migrator holds
+  /// up to its stream width (target_streams) concurrently; each bucket is
+  /// acquired at most once per epoch (double-Acquire is a CHECK failure),
+  /// buckets lock and release in any interleaving, and storage-bucket
+  /// freezes are independent of bucket locks (a freeze may outlive or
+  /// precede any particular bucket's release, as long as every freeze is
+  /// lifted before EndEpoch). IsMigrating answers over the union of all
+  /// locked buckets.
   void Acquire(BucketId b) {
     CHILLER_CHECK(active_) << "Acquire outside a relayout epoch";
     CHILLER_CHECK(b < num_buckets_);

@@ -278,6 +278,19 @@ StatusOr<ycsb::YcsbWorkload::Options> ParseYcsbOptions(
       o.GetInt("hot_keys_per_partition", w.hot_keys_per_partition);
   w.initial_value =
       static_cast<int64_t>(o.GetInt("initial_value", w.initial_value));
+  w.shift_every =
+      static_cast<SimTime>(o.GetInt("shift_every_us", 0)) * kMicrosecond;
+  w.shift_stride = static_cast<uint64_t>(o.GetInt("shift_stride", 0));
+  if ((w.shift_every > 0) != (w.shift_stride > 0)) {
+    return Status::InvalidArgument(
+        "shift_every_us and shift_stride enable the shifting hot set "
+        "together (both > 0 or both absent)");
+  }
+  if (w.shift_stride >= w.keys_per_partition) {
+    return Status::InvalidArgument(
+        "shift_stride must be < keys_per_partition (the rotation is "
+        "modular)");
+  }
   if (w.theta < 0.0 || w.theta >= 1.0) {
     return Status::InvalidArgument("ycsb theta must be in [0, 1)");
   }
@@ -331,6 +344,10 @@ class AdaptiveYcsbBundle : public WorkloadBundle {
   cc::WorkloadSource* source() override { return &workload_; }
 
   void Load(cc::Cluster* cluster) const override {
+    // Bind the shifting hot set (if configured) to this cluster's simulated
+    // clock; Next() draws happen in engine events, where now() is
+    // shard-invariant. Load() is the one hook that sees the cluster.
+    workload_.SetClock([cluster] { return cluster->sim()->now(); });
     workload_.ForEachRecord(
         [&](const RecordId& rid, const storage::Record& rec) {
           cluster->LoadRecord(rid, rec, swappable_);
@@ -338,7 +355,9 @@ class AdaptiveYcsbBundle : public WorkloadBundle {
   }
 
  private:
-  ycsb::YcsbWorkload workload_;
+  /// mutable: Load(cluster) is const in the WorkloadBundle interface but
+  /// must bind the clock for the shifting hot set.
+  mutable ycsb::YcsbWorkload workload_;
   partition::SwappablePartitioner swappable_;
 };
 
@@ -347,9 +366,12 @@ StatusOr<std::unique_ptr<WorkloadBundle>> MakeAdaptive(
   // hot_keys_per_partition is deliberately not a knob here: pre-replan the
   // hash layout knows no hot records, and post-replan hotness comes from
   // the sampled contention likelihoods, not a rank threshold.
+  // shift_every_us / shift_stride stay adaptive-only: a shifting hot set
+  // on a frozen layout is just a slower hash workload, and allowing it
+  // there would invite apples-to-oranges grids.
   Status st = spec.options.ExpectOnly(
       {"keys_per_partition", "theta", "read_ratio", "distributed_ratio",
-       "ops_per_txn", "initial_value"});
+       "ops_per_txn", "initial_value", "shift_every_us", "shift_stride"});
   if (!st.ok()) return st;
   auto w = ParseYcsbOptions(spec);
   if (!w.ok()) return w.status();

@@ -11,6 +11,7 @@
 #include "cc/migration.h"
 #include "migrate/adaptive_controller.h"
 #include "migrate/live_migrator.h"
+#include "migrate/migration_governor.h"
 #include "migrate/migration_plan.h"
 #include "net/topology.h"
 #include "partition/chiller_partitioner.h"
@@ -112,6 +113,41 @@ Status ScenarioRunner::Validate(const ScenarioSpec& spec) {
   }
   if (spec.migrate_batch_records == 0) {
     return Status::InvalidArgument("migrate_batch_records must be >= 1");
+  }
+  if (spec.migrate_streams == 0) {
+    return Status::InvalidArgument("migrate_streams must be >= 1");
+  }
+  if (spec.governor) {
+    if (spec.governor_min_streams == 0) {
+      return Status::InvalidArgument("governor_min_streams must be >= 1");
+    }
+    if (spec.governor_min_streams > spec.governor_max_streams) {
+      return Status::InvalidArgument(
+          "governor_min_streams must be <= governor_max_streams");
+    }
+    if (spec.governor_max_abort_share < 0.0 ||
+        spec.governor_max_abort_share > 1.0) {
+      return Status::InvalidArgument(
+          "governor_max_abort_share must be in [0, 1]");
+    }
+  }
+  if (spec.rearm_threshold < 0.0) {
+    return Status::InvalidArgument("rearm_threshold must be >= 0");
+  }
+  if (spec.rearm_threshold > 0.0 && !spec.continuous) {
+    return Status::InvalidArgument(
+        "rearm_threshold re-arms the continuous controller; set "
+        "continuous=true");
+  }
+  if (spec.shadow && !spec.continuous) {
+    return Status::InvalidArgument(
+        "shadow mode is the continuous controller's scoring-only mode; set "
+        "continuous=true");
+  }
+  if (spec.shadow && spec.rearm_threshold > 0.0) {
+    return Status::InvalidArgument(
+        "shadow mode never settles, so there is nothing to re-arm; drop "
+        "one of shadow / rearm_threshold");
   }
   if (spec.continuous) {
     if (!spec.phases.empty()) {
@@ -274,6 +310,14 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
         static_cast<double>(spec.concurrency) * spec.partitions();
     copts.relayout_buckets = spec.relayout_buckets;
     copts.migrator.batch_records = spec.migrate_batch_records;
+    copts.migrator.streams = spec.migrate_streams;
+    copts.governor = spec.governor;
+    copts.governor_opts.min_streams = spec.governor_min_streams;
+    copts.governor_opts.max_streams = spec.governor_max_streams;
+    copts.governor_opts.p99_budget = spec.governor_p99_budget;
+    copts.governor_opts.max_abort_share = spec.governor_max_abort_share;
+    copts.rearm_threshold = spec.rearm_threshold;
+    copts.shadow = spec.shadow;
     copts.seed = spec.seed;
     migrate::AdaptiveController controller(driver, env->cluster.get(),
                                            env->repl.get(), live, copts);
@@ -297,6 +341,12 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
     result.adaptive.controller_epochs = rep.epochs;
     result.adaptive.controller_migrations = rep.migrations;
     result.adaptive.controller_settled = rep.settled;
+    result.adaptive.controller_rearms = rep.rearms;
+    result.adaptive.shadow_evals = rep.shadow_evals;
+    result.adaptive.last_drift = rep.last_drift;
+    result.adaptive.peak_streams = rep.peak_streams;
+    result.adaptive.governor_widens = rep.governor_widens;
+    result.adaptive.governor_narrows = rep.governor_narrows;
     return finish();
   }
 
@@ -416,8 +466,19 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
             env->cluster.get(), *pending_layout, spec.relayout_buckets);
         migrate::LiveMigratorOptions mopts;
         mopts.batch_records = spec.migrate_batch_records;
+        mopts.streams = spec.migrate_streams;
         migrate::LiveMigrator migrator(env->cluster.get(), env->repl.get(),
                                        live, mopts);
+        std::unique_ptr<migrate::MigrationGovernor> governor;
+        if (spec.governor) {
+          governor = std::make_unique<migrate::MigrationGovernor>(
+              migrate::MigrationGovernorOptions{
+                  .min_streams = spec.governor_min_streams,
+                  .max_streams = spec.governor_max_streams,
+                  .p99_budget = spec.governor_p99_budget,
+                  .max_abort_share = spec.governor_max_abort_share},
+              spec.migrate_streams);
+        }
         const SimTime t0 = sim->now();
         const uint64_t c0 = driver->lifetime_commits();
         const uint64_t a0 = driver->lifetime_migration_aborts();
@@ -427,14 +488,36 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
         const SimTime step = spec.timeline_slice > 0
                                  ? spec.timeline_slice
                                  : 100 * kMicrosecond;
+        // Scope the governor's p99 window to the relayout's steps.
+        if (governor != nullptr) driver->TakeCommitLatencyWindow();
         uint64_t guard = 0;
         while (!migrator.done()) {
+          const uint64_t gc0 = driver->lifetime_commits();
+          const uint64_t ga0 = driver->lifetime_migration_aborts();
           advance_recorded(step);
+          if (governor != nullptr && !migrator.done()) {
+            // One governor epoch per advance step: fold the step's
+            // foreground signals into the stream width.
+            migrate::GovernorSignals signals;
+            signals.commits = driver->lifetime_commits() - gc0;
+            signals.migration_aborts =
+                driver->lifetime_migration_aborts() - ga0;
+            const Histogram window = driver->TakeCommitLatencyWindow();
+            signals.p99 =
+                window.count() == 0 ? 0 : window.Percentile(99.0);
+            migrator.SetTargetStreams(governor->Decide(signals));
+          }
           CHILLER_CHECK(++guard < (1u << 20))
               << "live migration did not settle";
         }
         result.adaptive.migration = migrator.stats().base;
         result.adaptive.buckets_moved = migrator.stats().buckets_moved;
+        result.adaptive.peak_streams = std::max(
+            result.adaptive.peak_streams, migrator.stats().peak_streams);
+        if (governor != nullptr) {
+          result.adaptive.governor_widens += governor->report().widens;
+          result.adaptive.governor_narrows += governor->report().narrows;
+        }
         result.adaptive.migration_start = t0;
         result.adaptive.migration_end = t0 + migrator.stats().base.sim_time;
         // Window deltas include the tail of the slice in which the last

@@ -135,11 +135,27 @@ struct ScenarioSpec {
 
   // --- live relayout / continuous adaptivity (src/migrate) ----------------
   /// Relayout bucket count for live-migrate phases and the continuous
-  /// controller: the granule of incremental migration (one bucket locked at
-  /// a time; everything else keeps flowing).
+  /// controller: the granule of incremental migration (locked buckets
+  /// gate their traffic; everything else keeps flowing).
   uint32_t relayout_buckets = 64;
   /// Records per migration RPC batch (live path only).
   uint32_t migrate_batch_records = 128;
+  /// Relayout buckets streamed concurrently by the live path (the
+  /// migrator's k). 1 = the legacy sequential walk, byte for byte.
+  uint32_t migrate_streams = 1;
+  /// Attach a migrate::MigrationGovernor: every controller epoch (or
+  /// advance step of a live-migrate phase) retunes the stream width
+  /// between [governor_min_streams, governor_max_streams] against the
+  /// foreground SLO below. migrate_streams is its starting width.
+  bool governor = false;
+  uint32_t governor_min_streams = 1;
+  uint32_t governor_max_streams = 8;
+  /// Foreground commit-latency p99 budget per epoch, ns; 0 disables the
+  /// latency signal (abort share still governs).
+  SimTime governor_p99_budget = 0;
+  /// Largest tolerated per-epoch share of foreground outcomes aborted by
+  /// the migration bucket gate, in [0, 1].
+  double governor_max_abort_share = 0.05;
   /// Continuous mode: instead of a phase plan, the measure window runs
   /// under a migrate::AdaptiveController that periodically samples,
   /// replans, and live-migrates when workload drift exceeds the threshold
@@ -156,6 +172,13 @@ struct ScenarioSpec {
   double controller_drift_threshold = 0.1;
   /// Continuous mode: consecutive calm epochs before the loop settles.
   uint32_t controller_hysteresis = 2;
+  /// Continuous mode: relative worsening of the live layout's residual
+  /// contention (vs the calm-state baseline) that re-arms a settled loop.
+  /// 0 = settling is terminal (legacy).
+  double rearm_threshold = 0.0;
+  /// Continuous mode: score candidate layouts every epoch but never
+  /// migrate and never settle (zero-risk shadow deployment).
+  bool shadow = false;
   /// Throughput/latency timeline: when > 0, timed phases advance in slices
   /// of this length and every slice's commit count and latency sum land in
   /// AdaptiveReport::timeline (quiesced migration pauses show up as a
@@ -234,6 +257,18 @@ struct AdaptiveReport {
   uint32_t controller_epochs = 0;
   uint32_t controller_migrations = 0;
   bool controller_settled = false;
+  /// Settled -> re-armed transitions (rearm_threshold > 0).
+  uint32_t controller_rearms = 0;
+  /// Shadow-mode candidate scorings (never executed).
+  uint32_t shadow_evals = 0;
+  /// Most recent replan's drift reading.
+  double last_drift = 0.0;
+
+  // Concurrent-stream accounting (live migrate phases and continuous).
+  /// Max relayout buckets concurrently in flight across the run.
+  uint32_t peak_streams = 0;
+  uint32_t governor_widens = 0;
+  uint32_t governor_narrows = 0;
 
   /// Per-slice commit flow when ScenarioSpec::timeline_slice > 0.
   std::vector<TimelineSlice> timeline;

@@ -75,6 +75,10 @@ YcsbWorkload::YcsbWorkload(Options options)
   CHILLER_CHECK(options_.ops_per_txn >= 1);
   CHILLER_CHECK(options_.hot_keys_per_partition <=
                 options_.keys_per_partition);
+  CHILLER_CHECK(options_.shift_stride < options_.keys_per_partition)
+      << "the rotation is modular; a full-circle stride is a no-op";
+  CHILLER_CHECK((options_.shift_every > 0) == (options_.shift_stride > 0))
+      << "shift_every and shift_stride enable the shifting hot set together";
 }
 
 void YcsbWorkload::ForEachRecord(
@@ -91,12 +95,24 @@ void YcsbWorkload::ForEachRecord(
 
 std::vector<Key> YcsbWorkload::SampleKeys(PartitionId home, Rng* rng) {
   const bool distributed = rng->Bernoulli(options_.distributed_ratio);
+  // Popularity rotation for the shifting hot set: the Zipf draw yields a
+  // *rank*; the rank-to-key mapping slides by shift_stride per elapsed
+  // window. Pure arithmetic on the (shard-invariant) clock, so the drawn
+  // key stream is the same for any shard count.
+  uint64_t rotation = 0;
+  if (options_.shift_every > 0 && clock_) {
+    rotation = (static_cast<uint64_t>(clock_()) /
+                static_cast<uint64_t>(options_.shift_every)) *
+               options_.shift_stride;
+  }
   std::set<Key> keys;
   int guard = 0;
   while (keys.size() < options_.ops_per_txn && guard++ < 10000) {
     const uint64_t part =
         distributed ? rng->Uniform(options_.num_partitions) : home;
-    keys.insert(part * options_.keys_per_partition + zipf_.Next(rng));
+    const uint64_t rank =
+        (zipf_.Next(rng) + rotation) % options_.keys_per_partition;
+    keys.insert(part * options_.keys_per_partition + rank);
   }
   return {keys.begin(), keys.end()};
 }

@@ -13,6 +13,7 @@
 #ifndef CHILLER_WORKLOAD_YCSB_H_
 #define CHILLER_WORKLOAD_YCSB_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -75,11 +76,28 @@ class YcsbWorkload : public cc::WorkloadSource {
     /// Zipf ranks below this are flagged hot on every partition.
     uint64_t hot_keys_per_partition = 4;
     int64_t initial_value = 0;
+    /// Phase-shifting hot set: every `shift_every` of simulated time the
+    /// per-partition popularity ranking rotates by `shift_stride` keys
+    /// (rank r maps to key (r + windows_elapsed * stride) mod
+    /// keys_per_partition), so yesterday's cold keys become today's hot
+    /// ones — the diurnal/hot-set-rotation regime the adaptive
+    /// controller's re-arm exists for. 0 (the default) disables shifting;
+    /// enabling it requires SetClock. Retries rebuild from absolute keys
+    /// in the params, so a transaction straddling a shift keeps its
+    /// original keys.
+    SimTime shift_every = 0;
+    uint64_t shift_stride = 0;
   };
 
   explicit YcsbWorkload(Options options);
 
   const Options& options() const { return options_; }
+
+  /// Binds the simulated-time source the shifting hot set rotates on
+  /// (typically the cluster's simulator clock). Draws happen in engine
+  /// events, where now() is shard-invariant, so shifting workloads stay
+  /// byte-identical for any shard count.
+  void SetClock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
 
   /// Loads every key of every partition with an 8-field record.
   void ForEachRecord(
@@ -101,6 +119,7 @@ class YcsbWorkload : public cc::WorkloadSource {
 
   Options options_;
   ZipfGenerator zipf_;
+  std::function<SimTime()> clock_;  ///< unset => rotation pinned at 0
 };
 
 }  // namespace chiller::workload::ycsb
