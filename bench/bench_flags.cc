@@ -92,6 +92,10 @@ std::string UsageString(const std::string& bench_name,
         " byte-identical for any N (default %u)\n"
         "  --mem-budget-mb=N   cap summed footprint of concurrently-loaded"
         " scenarios, 0 = unlimited (default %llu)\n"
+        "  --trace-out=FILE    write a Chrome trace-event JSON of the"
+        " sampled transactions (Perfetto-loadable)\n"
+        "  --trace-sample-every=N  trace every Nth logical transaction per"
+        " engine; 0 = off, --trace-out alone implies 1 (default %u)\n"
         "  --json=PATH         JSON report path (default BENCH_%s.json)\n"
         "  --no-json           skip the JSON report\n"
         "  --list-protocols    print registered protocols and exit\n"
@@ -105,7 +109,8 @@ std::string UsageString(const std::string& bench_name,
         d.offered_tps, d.arrival.c_str(), d.queue_cap, d.batch_size,
         schedulers.c_str(), d.scheduler.c_str(), d.sched_classes,
         d.shed_policy.c_str(), d.jobs, d.shards,
-        static_cast<unsigned long long>(d.mem_budget_mb), bench_name.c_str());
+        static_cast<unsigned long long>(d.mem_budget_mb),
+        d.trace_sample_every, bench_name.c_str());
   };
   const int needed = format(nullptr, 0);
   std::string out(static_cast<size_t>(needed) + 1, '\0');
@@ -193,6 +198,13 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
       st = ParseNumber(name, value, &out->shards);
     } else if (name == "mem-budget-mb") {
       st = ParseNumber(name, value, &out->mem_budget_mb);
+    } else if (name == "trace-out") {
+      if (value.empty()) {
+        return Status::InvalidArgument("--trace-out requires a value");
+      }
+      out->trace_out = value;
+    } else if (name == "trace-sample-every") {
+      st = ParseNumber(name, value, &out->trace_sample_every);
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     }
@@ -208,6 +220,11 @@ Status ParseBenchFlags(int argc, const char* const* argv, BenchFlags* out) {
   }
   if (out->shards == 0) {
     return Status::InvalidArgument("--shards must be >= 1");
+  }
+  if (!out->trace_out.empty() && out->trace_sample_every == 0) {
+    // --trace-out alone means "trace everything": an empty trace from a
+    // forgotten sampling flag helps nobody.
+    out->trace_sample_every = 1;
   }
   // Same validator and spec conversion the runner applies per scenario,
   // run here so a bad combination (--load-model=open without

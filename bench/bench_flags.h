@@ -25,6 +25,10 @@
 //                         simulation; results byte-identical for any N)
 //   --mem-budget-mb=N     cap summed footprint of concurrently-loaded
 //                         scenarios (0 = unlimited)
+//   --trace-out=FILE      write a Chrome trace-event JSON of the sampled
+//                         transactions (load in Perfetto / chrome://tracing)
+//   --trace-sample-every=N trace every Nth logical transaction per engine
+//                         (0 = off; --trace-out with 0 implies 1)
 //   --json=PATH           where to write the machine-readable report
 //                         (default BENCH_<name>.json in the cwd)
 //   --no-json             disable the JSON report
@@ -88,6 +92,16 @@ struct BenchFlags {
   /// High --jobs multiplies peak RSS (one loaded cluster per worker); the
   /// sweep keeps the summed footprint hints under this cap.
   uint64_t mem_budget_mb = 0;
+  /// Chrome trace-event output: path of the merged trace across every
+  /// scenario the bench sweeps (empty = no trace). Tracing replays the
+  /// same domain events the stats come from, so enabling it never changes
+  /// any result byte and the trace itself is byte-identical for any
+  /// --jobs / --shards combination.
+  std::string trace_out;
+  /// Per-engine sampling stride for the tracer: every Nth logical
+  /// transaction an engine issues is traced (0 = tracing off). When
+  /// --trace-out is given and this is 0, it defaults to 1 (trace all).
+  uint32_t trace_sample_every = 0;
 
   /// mem_budget_mb in bytes (what SweepExecutor consumes).
   uint64_t MemBudgetBytes() const { return mem_budget_mb * (1ull << 20); }
@@ -122,6 +136,7 @@ inline void ApplyLoadModelFlags(const BenchFlags& flags,
   spec->sched_classes = flags.sched_classes;
   spec->shed_policy = flags.shed_policy;
   spec->shards = flags.shards;
+  spec->trace_sample_every = flags.trace_sample_every;
 }
 
 /// Standard SweepExecutor wiring from the shared flags: worker count, the
@@ -136,6 +151,7 @@ inline runner::SweepExecutor MakeSweepExecutor(
   executor.set_calibration_cache(
       runner::FootprintCalibrationCache::PathNextTo(
           flags.JsonPathFor(bench_name)));
+  executor.set_trace_out(flags.trace_out);
   return executor;
 }
 

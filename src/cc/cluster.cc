@@ -34,6 +34,13 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   rpc_ = std::make_unique<net::RpcLayer>(sim_.get(), network_.get(), topo);
 
   const uint32_t n = topo.num_engines();
+  {
+    std::vector<uint32_t> node_of_engine(n);
+    for (uint32_t e = 0; e < n; ++e) node_of_engine[e] = topo.NodeOfEngine(e);
+    trace_ = std::make_shared<obs::TraceRecorder>(
+        config_.trace_sample_every, topo.num_nodes, std::move(node_of_engine));
+  }
+  metrics_ = std::make_unique<obs::MetricsRegistry>(n);
   engines_.reserve(n);
   primaries_.reserve(n);
   replica_stores_.resize(n);

@@ -8,6 +8,8 @@
 #include "cc/engine.h"
 #include "migrate/relayout.h"
 #include "net/network.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "net/rdma.h"
 #include "net/rpc.h"
 #include "net/topology.h"
@@ -43,6 +45,9 @@ struct ClusterConfig {
   /// runs the same event semantics across real threads (sim::
   /// ShardedSimulator), byte-identical for any value.
   uint32_t shards = 1;
+  /// Trace every engine's k-th logical transaction when
+  /// k % trace_sample_every == 0; 0 disables tracing entirely.
+  uint32_t trace_sample_every = 0;
 };
 
 /// Owns the simulator, fabric, engines and all partition stores (primaries
@@ -106,6 +111,19 @@ class Cluster {
   /// Total committed-state records across primaries (sanity checks).
   size_t TotalPrimaryRecords() const;
 
+  /// Trace recorder for this cluster. Always constructed; inactive (every
+  /// record call is a no-op) unless config.trace_sample_every > 0.
+  obs::TraceRecorder* trace() { return trace_.get(); }
+  const obs::TraceRecorder* trace() const { return trace_.get(); }
+  /// Shared ownership handle so a ScenarioResult can outlive the cluster.
+  std::shared_ptr<const obs::TraceRecorder> shared_trace() const {
+    return trace_;
+  }
+
+  /// Named metrics shared by the driver, load models, scheduler and the
+  /// migration machinery.
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+
  private:
   ClusterConfig config_;
   migrate::BucketLockTable bucket_locks_;
@@ -113,6 +131,8 @@ class Cluster {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<net::RdmaFabric> rdma_;
   std::unique_ptr<net::RpcLayer> rpc_;
+  std::shared_ptr<obs::TraceRecorder> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<std::unique_ptr<storage::PartitionStore>> primaries_;
   std::vector<std::vector<std::unique_ptr<storage::PartitionStore>>>

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "cc/cluster.h"
 #include "cc/exec_common.h"
 #include "cc/load_model.h"
 #include "common/logging.h"
@@ -24,6 +25,15 @@ Driver::Driver(Cluster* cluster, Protocol* protocol, WorkloadSource* source,
   for (uint32_t e = 0; e < per_engine_.size(); ++e) {
     per_engine_[e].rng.Seed(seed + 0x9e3779b97f4a7c15ULL * (e + 1));
   }
+  obs::MetricsRegistry* reg = cluster_->metrics();
+  m_commits_ = reg->GetCounter("driver.commits");
+  m_latency_ns_ = reg->GetCounter("driver.commit_latency_ns");
+  m_migration_aborts_ = reg->GetCounter("driver.aborts.migration");
+  m_contention_aborts_ = reg->GetCounter("driver.aborts.contention");
+  m_fallback_aborts_ = reg->GetCounter("driver.aborts.fallback");
+  m_user_aborts_ = reg->GetCounter("driver.aborts.user");
+  m_shed_ = reg->GetCounter("admission.shed");
+  m_window_latency_ = reg->GetHistogram("driver.commit_latency_window");
   model_->Bind(this);
   open_loop_ = model_->UsesAdmissionQueue();
 }
@@ -45,7 +55,19 @@ std::shared_ptr<txn::Transaction> Driver::Draw(EngineId e) {
   std::shared_ptr<txn::Transaction> t = source_->Next(e, rng(e));
   if (t->accesses.empty()) t->InitAccesses();
   t->ResolveReadyKeys();
+  // Identity is assigned at draw time, before classification, so the
+  // scheduler's classify/route decisions are traceable too.
+  AssignIdentity(e, t.get());
   return t;
+}
+
+void Driver::AssignIdentity(EngineId e, txn::Transaction* t) {
+  if (t->logical_id != 0) return;
+  EngineState& es = per_engine_[e];
+  // Same striping as attempt ids: engine e issues e+1, e+1+E, e+1+2E, ...
+  t->logical_id = es.next_logical * per_engine_.size() + e + 1;
+  ++es.next_logical;
+  t->traced = cluster_->trace()->Sampled(t->logical_id);
 }
 
 void Driver::LaunchRouted(EngineId e, std::shared_ptr<txn::Transaction> t,
@@ -60,6 +82,7 @@ void Driver::Launch(EngineId e, std::shared_ptr<txn::Transaction> t) {
   // e+1, e+1+E, e+1+2E, ... regardless of how engines interleave.
   t->id = es.next_local * per_engine_.size() + e + 1;
   ++es.next_local;
+  AssignIdentity(e, t.get());
   t->home = e;
   t->outcome = txn::Outcome::kPending;
   t->start_time = cluster_->sim()->now();
@@ -79,6 +102,9 @@ std::shared_ptr<txn::Transaction> Driver::RebuildForRetry(
   // The retry keeps its predicted conflict class: class-serialized
   // admission holds the class until the logical transaction settles.
   retry->sched_class = t.sched_class;
+  // Retries are the same logical transaction: same id, same trace sample.
+  retry->logical_id = t.logical_id;
+  retry->traced = t.traced;
   return retry;
 }
 
@@ -87,6 +113,7 @@ void Driver::NoteAdmitted(EngineId e) {
 }
 
 void Driver::NoteShed(EngineId e) {
+  m_shed_->Add(e);  // lifetime, independent of the measuring toggle
   if (measuring_) ++per_engine_[e].stats.shed;
 }
 
@@ -95,6 +122,7 @@ void Driver::NoteQueueDelay(EngineId e, SimTime delay) {
 }
 
 void Driver::NoteShedEvicted(EngineId e, bool counted_admitted) {
+  m_shed_->Add(e);  // lifetime, independent of the measuring toggle
   EngineState& es = per_engine_[e];
   // The admission is taken back only if this window counted it (the entry
   // records that at enqueue time); the underflow guard covers an entry
@@ -106,16 +134,65 @@ void Driver::NoteShedEvicted(EngineId e, bool counted_admitted) {
 void Driver::OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t) {
   if (observer_ && t->outcome == txn::Outcome::kCommitted) observer_(*t);
   EngineState& es = per_engine_[e];
-  // Lifetime counters run regardless of the measuring toggle: timeline
+  // The abort-reason taxonomy shared by the trace and the abort-class
+  // counters; null for commits.
+  const char* abort_reason = nullptr;
+  switch (t->outcome) {
+    case txn::Outcome::kCommitted:
+      break;
+    case txn::Outcome::kAbortConflict:
+      abort_reason = t->blocked_by_migration ? "migration"
+                     : t->force_fallback     ? "co-location-fallback"
+                                             : "contention";
+      break;
+    case txn::Outcome::kAbortUser:
+      abort_reason = "user";
+      break;
+    case txn::Outcome::kPending:
+      break;
+  }
+  if (t->traced) {
+    obs::TraceRecorder* trace = cluster_->trace();
+    // The admission wait precedes the first attempt; later attempts start
+    // at their own launch, so the wait renders exactly once.
+    if (t->attempt == 0 && t->admission_delay > 0 &&
+        t->start_time >= t->admission_delay) {
+      trace->Span(e, t->start_time - t->admission_delay, t->start_time,
+                  "queue_wait", t->logical_id, t->attempt);
+    }
+    trace->Span(e, t->start_time, t->end_time, "attempt", t->logical_id,
+                t->attempt, abort_reason);
+    if (t->blocked_by_migration) {
+      trace->Instant(e, t->end_time, "migration_block", t->logical_id,
+                     t->attempt, "migration");
+    }
+    trace->Instant(e, t->end_time,
+                   t->outcome == txn::Outcome::kCommitted ? "commit" : "abort",
+                   t->logical_id, t->attempt, abort_reason);
+  }
+  // Lifetime metrics run regardless of the measuring toggle: timeline
   // consumers (runner::AdaptiveReport slices, the live-migration bench)
   // need commit flow visible across warmup and migration windows too.
-  if (t->outcome == txn::Outcome::kCommitted) {
-    ++es.commits;
-    es.latency_ns += t->end_time - t->start_time;
-    es.window_latency.Add(t->end_time - t->start_time);
-  } else if (t->outcome == txn::Outcome::kAbortConflict &&
-             t->blocked_by_migration) {
-    ++es.migration_aborts;
+  switch (t->outcome) {
+    case txn::Outcome::kCommitted:
+      m_commits_->Add(e);
+      m_latency_ns_->Add(e, t->end_time - t->start_time);
+      m_window_latency_->Add(e, t->end_time - t->start_time);
+      break;
+    case txn::Outcome::kAbortConflict:
+      if (t->blocked_by_migration) {
+        m_migration_aborts_->Add(e);
+      } else if (t->force_fallback) {
+        m_fallback_aborts_->Add(e);
+      } else {
+        m_contention_aborts_->Add(e);
+      }
+      break;
+    case txn::Outcome::kAbortUser:
+      m_user_aborts_->Add(e);
+      break;
+    case txn::Outcome::kPending:
+      break;
   }
   if (measuring_) {
     es.stats.EnsureClass(t->txn_class, source_->ClassName(t->txn_class));
@@ -171,31 +248,16 @@ const RunStats& Driver::stats() const {
   return merged_;
 }
 
-uint64_t Driver::lifetime_commits() const {
-  uint64_t total = 0;
-  for (const EngineState& es : per_engine_) total += es.commits;
-  return total;
-}
+uint64_t Driver::lifetime_commits() const { return m_commits_->Sum(); }
 
-uint64_t Driver::lifetime_latency_ns() const {
-  uint64_t total = 0;
-  for (const EngineState& es : per_engine_) total += es.latency_ns;
-  return total;
-}
+uint64_t Driver::lifetime_latency_ns() const { return m_latency_ns_->Sum(); }
 
 uint64_t Driver::lifetime_migration_aborts() const {
-  uint64_t total = 0;
-  for (const EngineState& es : per_engine_) total += es.migration_aborts;
-  return total;
+  return m_migration_aborts_->Sum();
 }
 
 Histogram Driver::TakeCommitLatencyWindow() {
-  Histogram merged;
-  for (EngineState& es : per_engine_) {
-    merged.Merge(es.window_latency);
-    es.window_latency.Reset();
-  }
-  return merged;
+  return m_window_latency_->TakeMerged();
 }
 
 void Driver::Start() {

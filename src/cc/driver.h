@@ -9,6 +9,7 @@
 
 #include "cc/protocol.h"
 #include "common/random.h"
+#include "obs/metrics_registry.h"
 #include "txn/transaction.h"
 
 namespace chiller::schedule {
@@ -223,14 +224,18 @@ class Driver {
   struct alignas(64) EngineState {
     Rng rng{1};
     TxnId next_local = 0;  ///< per-engine txn counter; global id derived
+    /// Per-engine *logical* transaction counter: one tick per fresh draw,
+    /// shared by all retry attempts of that draw. Feeds the trace sampler.
+    TxnId next_logical = 0;
     RunStats stats;
-    uint64_t commits = 0;
-    uint64_t latency_ns = 0;
-    uint64_t migration_aborts = 0;
-    Histogram window_latency;  ///< drained by TakeCommitLatencyWindow()
   };
 
   void OnDone(EngineId e, const std::shared_ptr<txn::Transaction>& t);
+
+  /// Assigns the logical id and the trace sampling decision on the first
+  /// sighting of a transaction (Draw for scheduled admission, Launch
+  /// otherwise). Idempotent per logical transaction: retries carry both.
+  void AssignIdentity(EngineId e, txn::Transaction* t);
 
   Cluster* cluster_;
   Protocol* protocol_;
@@ -239,6 +244,16 @@ class Driver {
   schedule::Scheduler* scheduler_ = nullptr;  ///< non-owning; null = fifo
   std::vector<EngineState> per_engine_;
   mutable RunStats merged_;  ///< scratch for stats(); control-plane only
+  // Registry-backed lifetime metrics (the source the lifetime_* reads and
+  // the latency window derive from). Engine-sharded inside the handles.
+  obs::MetricsRegistry::Counter* m_commits_;
+  obs::MetricsRegistry::Counter* m_latency_ns_;
+  obs::MetricsRegistry::Counter* m_migration_aborts_;
+  obs::MetricsRegistry::Counter* m_contention_aborts_;
+  obs::MetricsRegistry::Counter* m_fallback_aborts_;
+  obs::MetricsRegistry::Counter* m_user_aborts_;
+  obs::MetricsRegistry::Counter* m_shed_;
+  obs::MetricsRegistry::Hist* m_window_latency_;
   CommitObserver observer_;
   SimTime window_ = 0;
   bool open_loop_ = false;

@@ -29,6 +29,13 @@ void LoadModel::RetryAfterBackoff(EngineId e, const txn::Transaction& t) {
   // Explicitly target e's own domain: the relaunch belongs to the engine
   // regardless of what context the slot was freed from.
   sim::Scheduler* sim = d->cluster()->sim();
+  if (retry->traced) {
+    // OnSlotFree runs in e's event context, so the span records from the
+    // engine's own domain (the trace determinism rule).
+    d->cluster()->trace()->Span(e, sim->now(), sim->now() + backoff,
+                                "retry_backoff", retry->logical_id,
+                                retry->attempt);
+  }
   sim->ScheduleIn(
       sim::DomainOfNode(d->cluster()->topology().NodeOfEngine(e)),
       sim->now() + backoff, [d, e, retry]() { d->Launch(e, retry); });
@@ -64,6 +71,12 @@ OpenLoop::OpenLoop(OpenLoopOptions options) : opts_(std::move(options)) {
   CHILLER_CHECK(opts_.queue_cap >= 1);
   CHILLER_CHECK(opts_.arrival == "poisson" || opts_.arrival == "uniform")
       << "unknown arrival process '" << opts_.arrival << "'";
+}
+
+void OpenLoop::OnBind() {
+  obs::MetricsRegistry* reg = driver_->cluster()->metrics();
+  m_queue_depth_ = reg->GetGauge("admission.queue_depth");
+  m_routed_remote_ = reg->GetCounter("sched.routed_remote");
 }
 
 void OpenLoop::StartEngine(EngineId e) {
@@ -136,6 +149,14 @@ void OpenLoop::Arrive(EngineId e) {
     std::shared_ptr<txn::Transaction> t = driver_->Draw(e);
     t->sched_class = sched->Classify(*t);
     const EngineId target = sched->Route(*t, t->sched_class, e);
+    if (t->traced) {
+      obs::TraceRecorder* trace = driver_->cluster()->trace();
+      const SimTime now = driver_->cluster()->sim()->now();
+      trace->Instant(e, now, "sched_classify", t->logical_id, t->attempt,
+                     /*reason=*/nullptr, "class", t->sched_class);
+      trace->Instant(e, now, "sched_route", t->logical_id, t->attempt,
+                     /*reason=*/nullptr, "target", target);
+    }
     if (target == e) {
       AdmitScheduled(e, std::move(t));
     } else {
@@ -145,6 +166,7 @@ void OpenLoop::Arrive(EngineId e) {
       // one-way latency. The shed decision therefore lands on the engine
       // the request was routed *to* — per-engine shed stays consistent
       // with admitted.
+      m_routed_remote_->Add(e);
       Cluster* cluster = driver_->cluster();
       cluster->network()->Deliver(
           cluster->topology().NodeOfEngine(e),
@@ -167,6 +189,7 @@ void OpenLoop::Arrive(EngineId e) {
   } else if (s.queue.size() < opts_.queue_cap) {
     driver_->NoteAdmitted(e);
     s.queue.push_back(driver_->cluster()->sim()->now());
+    m_queue_depth_->Add(e, 1);
   } else {
     driver_->NoteShed(e);
   }
@@ -177,6 +200,7 @@ void OpenLoop::AdmitFromQueue(EngineId e) {
   EngineState& s = engines_[e];
   const SimTime waited = driver_->cluster()->sim()->now() - s.queue.front();
   s.queue.pop_front();
+  m_queue_depth_->Add(e, -1);
   --s.free_slots;
   driver_->LaunchFresh(e, waited);
 }
@@ -204,6 +228,7 @@ void OpenLoop::AdmitScheduled(EngineId e, std::shared_ptr<txn::Transaction> t) {
     driver_->NoteAdmitted(e);
     s.sched_queue.push_back({std::move(t), driver_->cluster()->sim()->now(),
                              driver_->measuring()});
+    m_queue_depth_->Add(e, 1);
     return;
   }
   // Queue full: the shed policy chooses between the arrival and a queued
@@ -214,12 +239,22 @@ void OpenLoop::AdmitScheduled(EngineId e, std::shared_ptr<txn::Transaction> t) {
   }
   const int victim = schedule::PickVictim(
       hot, cls != schedule::kColdClass, opts_.shed_policy);
+  obs::TraceRecorder* trace = driver_->cluster()->trace();
+  const SimTime now = driver_->cluster()->sim()->now();
   if (victim < 0) {
+    if (t->traced) {
+      trace->Instant(e, now, "shed", t->logical_id, t->attempt, "shed");
+    }
     driver_->NoteShed(e);
     return;
   }
-  driver_->NoteShedEvicted(
-      e, s.sched_queue[static_cast<size_t>(victim)].counted);
+  const ScheduledRequest& evicted =
+      s.sched_queue[static_cast<size_t>(victim)];
+  if (evicted.txn->traced) {
+    trace->Instant(e, now, "shed_evicted", evicted.txn->logical_id,
+                   evicted.txn->attempt, "shed");
+  }
+  driver_->NoteShedEvicted(e, evicted.counted);
   s.sched_queue.erase(s.sched_queue.begin() + victim);
   driver_->NoteAdmitted(e);
   s.sched_queue.push_back({std::move(t), driver_->cluster()->sim()->now(),
@@ -242,6 +277,7 @@ void OpenLoop::TryAdmitScheduled(EngineId e) {
     if (pick == s.sched_queue.size()) return;
     ScheduledRequest req = std::move(s.sched_queue[pick]);
     s.sched_queue.erase(s.sched_queue.begin() + static_cast<long>(pick));
+    m_queue_depth_->Add(e, -1);
     const SimTime waited =
         driver_->cluster()->sim()->now() - req.enqueued;
     --s.free_slots;

@@ -172,6 +172,8 @@ class OpenLoop final : public LoadModel {
     bool initialized = false;
   };
 
+  void OnBind() override;
+
   void ScheduleNextArrival(EngineId e);
   void Arrive(EngineId e);
   /// Launches the request at the head of `e`'s queue into a free slot.
@@ -190,6 +192,11 @@ class OpenLoop final : public LoadModel {
 
   OpenLoopOptions opts_;
   SimTime mean_interarrival_ = 0;  ///< per engine, ns
+  /// Live admission-queue depth (legacy + scheduled queues), one cell per
+  /// engine; snapshotted onto the trace timeline each slice.
+  obs::MetricsRegistry::Gauge* m_queue_depth_ = nullptr;
+  /// Arrivals the scheduler steered to another engine (lifetime).
+  obs::MetricsRegistry::Counter* m_routed_remote_ = nullptr;
   std::vector<EngineState> engines_;
 };
 

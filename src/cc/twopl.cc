@@ -77,12 +77,21 @@ class TwoPlRun : public std::enable_shared_from_this<TwoPlRun> {
     auto held = exec::HeldIndices(*t_);
     auto writes = exec::CollectWrites(*t_, held);
     auto self = shared_from_this();
+    commit_start_ = deps_.cluster->sim()->now();
     if (writes.empty()) {
       ApplyPhase();
       return;
     }
     auto pending = std::make_shared<size_t>(writes.size());
     for (auto& [p, updates] : writes) {
+      if (t_->traced) {
+        // The 2PC fan-out: one replication round per written partition,
+        // all in flight before the apply phase may start.
+        deps_.cluster->trace()->Instant(eng_->id(), commit_start_,
+                                        "2pc_replicate", t_->logical_id,
+                                        t_->attempt, /*reason=*/nullptr,
+                                        "partition", p);
+      }
       repl_->Replicate(eng_->id(), p, std::move(updates), eng_->id(),
                        [self, pending]() {
                          if (--*pending == 0) self->ApplyPhase();
@@ -93,7 +102,18 @@ class TwoPlRun : public std::enable_shared_from_this<TwoPlRun> {
   void ApplyPhase() {
     auto self = shared_from_this();
     exec::ApplyAndUnlock(deps_, t_.get(), exec::HeldIndices(*t_), eng_,
-                         [self]() { self->Finish(Outcome::kCommitted); });
+                         [self]() {
+                           if (self->t_->traced) {
+                             // Lock hold time across the replication
+                             // round-trips — the paper's Figure 2 quantity.
+                             self->deps_.cluster->trace()->Span(
+                                 self->eng_->id(), self->commit_start_,
+                                 self->deps_.cluster->sim()->now(),
+                                 "commit_phase", self->t_->logical_id,
+                                 self->t_->attempt);
+                           }
+                           self->Finish(Outcome::kCommitted);
+                         });
   }
 
   void Finish(Outcome outcome) {
@@ -119,6 +139,7 @@ class TwoPlRun : public std::enable_shared_from_this<TwoPlRun> {
   std::shared_ptr<Transaction> t_;
   std::function<void()> done_;
   Engine* eng_;
+  SimTime commit_start_ = 0;  ///< BeginCommit entry (the 2PC window)
 };
 
 }  // namespace

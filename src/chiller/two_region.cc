@@ -109,6 +109,11 @@ class ChillerRun : public std::enable_shared_from_this<ChillerRun> {
     // operation ids, input parameters — modeled as bytes).
     const size_t req_bytes = 64 + 24 * plan_.inner_ops.size() +
                              8 * t_->ctx.params.size();
+    if (t_->traced) {
+      deps_.cluster->trace()->Instant(
+          coord_->id(), deps_.cluster->sim()->now(), "inner_dispatch",
+          t_->logical_id, t_->attempt, /*reason=*/nullptr, "bytes", req_bytes);
+    }
     deps_.cluster->rpc()->Send(
         coord_->id(), inner_eng_->id(), req_bytes,
         deps_.cluster->costs().inner_dispatch, [self, result]() {
@@ -126,6 +131,7 @@ class ChillerRun : public std::enable_shared_from_this<ChillerRun> {
   /// replicas ack the coordinator; Figure 6).
   void ExecuteInner(std::shared_ptr<InnerResult> result,
                     std::function<void()> reply) {
+    inner_start_ = deps_.cluster->sim()->now();
     InnerOpNext(0, result, std::move(reply));
   }
 
@@ -210,6 +216,14 @@ class ChillerRun : public std::enable_shared_from_this<ChillerRun> {
         deps_, t_.get(), held, inner_eng_,
         [self, result, writes = std::move(writes),
          reply = std::move(reply)]() mutable {
+          if (self->t_->traced) {
+            // Runs on the inner host's engine — the hot records' contention
+            // span, the quantity the paper's argument is about.
+            self->deps_.cluster->trace()->Span(
+                self->inner_eng_->id(), self->inner_start_,
+                self->deps_.cluster->sim()->now(), "inner_region",
+                self->t_->logical_id, self->t_->attempt, "commit");
+          }
           if (result->had_writes) {
             // Fire-and-continue: the inner host does NOT wait for acks.
             self->proto_->replication()->Replicate(
@@ -228,7 +242,15 @@ class ChillerRun : public std::enable_shared_from_this<ChillerRun> {
     auto self = shared_from_this();
     // Roll back is lock release only: primaries were untouched.
     exec::Release(deps_, t_.get(), InnerHeld(), inner_eng_,
-                  [reply = std::move(reply)]() { reply(); });
+                  [self, reply = std::move(reply)]() {
+                    if (self->t_->traced) {
+                      self->deps_.cluster->trace()->Span(
+                          self->inner_eng_->id(), self->inner_start_,
+                          self->deps_.cluster->sim()->now(), "inner_region",
+                          self->t_->logical_id, self->t_->attempt, "abort");
+                    }
+                    reply();
+                  });
   }
 
   // ---- coordinator side, after the inner region ----
@@ -239,6 +261,12 @@ class ChillerRun : public std::enable_shared_from_this<ChillerRun> {
   }
 
   void OnInnerReply(std::shared_ptr<InnerResult> result) {
+    if (t_->traced) {
+      deps_.cluster->trace()->Instant(
+          coord_->id(), deps_.cluster->sim()->now(), "inner_reply",
+          t_->logical_id, t_->attempt,
+          result->status == Outcome::kCommitted ? "commit" : "abort");
+    }
     inner_result_ = *result;
     inner_replied_ = true;
     MaybeFinishInnerWait();
@@ -315,6 +343,7 @@ class ChillerRun : public std::enable_shared_from_this<ChillerRun> {
   bool inner_replied_ = false;
   bool inner_replicated_ = false;
   bool inner_wait_done_ = false;
+  SimTime inner_start_ = 0;  ///< set on the inner host at region entry
   InnerResult inner_result_;
 };
 

@@ -2,12 +2,54 @@
 #ifndef CHILLER_COMMON_LOGGING_H_
 #define CHILLER_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 
 namespace chiller {
+
+/// Severity levels for CHILLER_LOG. kOff silences everything.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
 namespace internal {
+
+inline std::atomic<int>& MinLogLevelStorage() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kInfo)};
+  return level;
+}
+
+}  // namespace internal
+
+/// Runtime log threshold: messages below it are skipped entirely (the
+/// stream arguments are not evaluated). Defaults to kInfo, so debug-only
+/// diagnostics stay quiet unless a test or tool opts in.
+inline LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      internal::MinLogLevelStorage().load(std::memory_order_relaxed));
+}
+inline void SetMinLogLevel(LogLevel level) {
+  internal::MinLogLevelStorage().store(static_cast<int>(level),
+                                       std::memory_order_relaxed);
+}
+
+namespace internal {
+
+/// Accumulates one log line and writes it to stderr on destruction.
+/// Used only via the CHILLER_LOG macro below.
+class LogStream {
+ public:
+  explicit LogStream(const char* tag) { stream_ << "[" << tag << "] "; }
+  ~LogStream() { std::cerr << stream_.str() << std::endl; }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
 
 /// Accumulates a failure message and aborts the process on destruction.
 /// Used only via the CHILLER_CHECK macros below.
@@ -45,10 +87,28 @@ class NullStream {
 struct Voidify {
   void operator&(const CheckFailStream&) {}
   void operator&(const NullStream&) {}
+  void operator&(const LogStream&) {}
 };
+
+// Macro-friendly aliases for the CHILLER_LOG severity tokens.
+inline constexpr LogLevel kLogLevelDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLogLevelINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogLevelWARN = LogLevel::kWarn;
 
 }  // namespace internal
 }  // namespace chiller
+
+/// Severity-leveled structured logging with a runtime minimum level:
+///   CHILLER_LOG(INFO) << "sweep worker count " << jobs;
+/// Levels: DEBUG, INFO, WARN. Lines render as "[LEVEL] message\n" on
+/// stderr. Below-threshold messages cost one atomic load; their stream
+/// arguments are never evaluated (<< binds into the ternary's live
+/// branch), so hot paths can log freely at DEBUG.
+#define CHILLER_LOG(severity)                                       \
+  (::chiller::internal::kLogLevel##severity < ::chiller::MinLogLevel()) \
+      ? (void)0                                                     \
+      : ::chiller::internal::Voidify{} &                            \
+            ::chiller::internal::LogStream(#severity)
 
 /// Aborts with a message if `cond` is false. Always on (used to guard
 /// protocol invariants whose violation would silently corrupt results).

@@ -34,10 +34,15 @@ AdaptiveController::AdaptiveController(cc::Driver* driver,
   CHILLER_CHECK(opts_.hysteresis_epochs >= 1);
   CHILLER_CHECK(opts_.relayout_buckets >= 1);
   CHILLER_CHECK(opts_.rearm_threshold >= 0.0);
+  obs::MetricsRegistry* reg = cluster_->metrics();
+  c_epochs_ = reg->GetCounter("controller.epochs");
+  c_migrations_ = reg->GetCounter("controller.migrations");
+  c_rearms_ = reg->GetCounter("controller.rearms");
   if (opts_.governor) {
     // The governor's option checks fire here, at construction.
     governor_ = std::make_unique<MigrationGovernor>(
-        opts_.governor_opts, std::max<uint32_t>(1, opts_.migrator.streams));
+        opts_.governor_opts, std::max<uint32_t>(1, opts_.migrator.streams),
+        reg);
   }
 }
 
@@ -103,6 +108,7 @@ StatusOr<SimTime> AdaptiveController::RunFor(
     step(this_step);
     advanced += this_step;
     ++report_.epochs;
+    c_epochs_->AddControl();
     CloseEpoch();
   }
 
@@ -113,6 +119,7 @@ StatusOr<SimTime> AdaptiveController::RunFor(
     step(opts_.period);
     advanced += opts_.period;
     ++report_.epochs;
+    c_epochs_->AddControl();
     CloseEpoch();
   }
   return advanced;
@@ -231,6 +238,7 @@ void AdaptiveController::CloseEpoch() {
         migrator_->Start(std::move(plan), std::move(out.partitioner));
     CHILLER_CHECK(st.ok()) << st.ToString();
     ++report_.migrations;
+    c_migrations_->AddControl();
   } else if (++calm_epochs_ >= opts_.hysteresis_epochs) {
     report_.settled = true;
     // The calm-state baseline comes from the first settled probe (same
@@ -270,6 +278,7 @@ void AdaptiveController::MaybeRearm() {
     // cumulative collector is retired with its traces — the old regime
     // would anchor every candidate the new one trains.
     ++report_.rearms;
+    c_rearms_->AddControl();
     report_.settled = false;
     calm_epochs_ = 0;
     baseline_residual_ = 0.0;

@@ -152,6 +152,12 @@ class AdaptiveController {
   std::unique_ptr<partition::StatsCollector> collector_;
   std::unique_ptr<LiveMigrator> migrator_;
   std::unique_ptr<MigrationGovernor> governor_;
+  // Registry mirrors of the loop's own control-plane accounting
+  // ("controller.*"): the report stays the derived JSON source, the
+  // registry puts the loop's activity on the trace timeline.
+  obs::MetricsRegistry::Counter* c_epochs_ = nullptr;
+  obs::MetricsRegistry::Counter* c_migrations_ = nullptr;
+  obs::MetricsRegistry::Counter* c_rearms_ = nullptr;
   /// Fresh per-epoch collector while settled with re-arm enabled.
   std::unique_ptr<partition::StatsCollector> probe_;
   uint32_t calm_epochs_ = 0;

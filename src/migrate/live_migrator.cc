@@ -31,6 +31,11 @@ LiveMigrator::LiveMigrator(cc::Cluster* cluster, cc::ReplicationManager* repl,
       opts_(options) {
   CHILLER_CHECK(opts_.batch_records >= 1);
   CHILLER_CHECK(opts_.retry_interval >= 1);
+  obs::MetricsRegistry* reg = cluster_->metrics();
+  g_streams_ = reg->GetGauge("migrate.active_streams");
+  c_batches_ = reg->GetCounter("migrate.batches");
+  c_buckets_moved_ = reg->GetCounter("migrate.buckets_moved");
+  c_moved_records_ = reg->GetCounter("migrate.moved_records");
 }
 
 Status LiveMigrator::Start(
@@ -74,6 +79,7 @@ void LiveMigrator::PumpStreams() {
   while (running_ && active_units_ < target_streams_ &&
          next_unit_ < plan_.units.size()) {
     ++active_units_;
+    g_streams_->Set(static_cast<int64_t>(active_units_));
     stats_.peak_streams = std::max(stats_.peak_streams,
                                    static_cast<uint32_t>(active_units_));
     // BeginUnit can finish synchronously (all planned moves vanished) and
@@ -145,6 +151,7 @@ void LiveMigrator::LaunchBatches(size_t u) {
         cluster_->costs().replica_apply *
         static_cast<SimTime>(batch->moves.size());
     ++stats_.batches;
+    c_batches_->AddControl();
     // The transfer itself rides the normal rpc path for cost realism, but
     // the completion touches both partitions' stores, the bucket-lock
     // table and the migrator's own state — control-plane work. Hop there
@@ -227,6 +234,7 @@ void LiveMigrator::TryCompleteBatch(std::shared_ptr<Batch> batch) {
     const Status st = cluster_->InstallRecord(mv.rid, mv.to, rec.value());
     CHILLER_CHECK(st.ok()) << st.ToString();
     ++stats_.base.moved_records;
+    c_moved_records_->AddControl();
     actual_bytes +=
         cc::kMigrationPerRecordOverheadBytes + rec.value().wire_bytes();
     puts.push_back(cc::ReplUpdate{.kind = cc::ReplUpdate::Kind::kPut,
@@ -278,8 +286,10 @@ void LiveMigrator::FinishUnit(size_t u) {
   live_->FlipBucket(plan_.units[u].bucket);
   locks_->Release(plan_.units[u].bucket);
   ++stats_.buckets_moved;
+  c_buckets_moved_->AddControl();
   CHILLER_CHECK(active_units_ > 0);
   --active_units_;
+  g_streams_->Set(static_cast<int64_t>(active_units_));
   // Refill the freed slot from the plan cursor (or close the epoch if this
   // was the last unit). With target_streams_ == 1 this is exactly the old
   // sequential BeginUnit(u + 1) walk, event for event.

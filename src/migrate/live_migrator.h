@@ -163,6 +163,14 @@ class LiveMigrator {
 
   MigrationPlan plan_;
   LiveMigrationStats stats_;
+  // Registry mirrors of the relayout's control-plane accounting, so the
+  // trace timeline's slice snapshots can show migration progress next to
+  // commits ("migrate.*"). The per-run LiveMigrationStats stays the source
+  // of the report fields.
+  obs::MetricsRegistry::Gauge* g_streams_ = nullptr;
+  obs::MetricsRegistry::Counter* c_batches_ = nullptr;
+  obs::MetricsRegistry::Counter* c_buckets_moved_ = nullptr;
+  obs::MetricsRegistry::Counter* c_moved_records_ = nullptr;
   SimTime start_time_ = 0;
   /// Per-unit unmoved batches + unacked replica streams; indexed like
   /// plan_.units so concurrent buckets never share a counter.

@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "obs/metrics_registry.h"
 
 namespace chiller::migrate {
 
@@ -56,19 +57,35 @@ struct MigrationGovernorReport {
 
 class MigrationGovernor {
  public:
-  MigrationGovernor(MigrationGovernorOptions options, uint32_t initial_streams);
+  /// With a registry, the decision/widen/narrow counters live in named
+  /// registry counters ("governor.*") and report() derives from them by
+  /// base-diff — a governor reconstructed each relayout keeps accumulating
+  /// into the same cluster-wide handles, and the stream-width gauge lands
+  /// on the trace timeline via registry snapshots. Without one (unit
+  /// tests), plain members back the report; the bytes are identical.
+  MigrationGovernor(MigrationGovernorOptions options, uint32_t initial_streams,
+                    obs::MetricsRegistry* registry = nullptr);
 
   /// Folds one epoch's signals into the width and returns the new target
   /// (feed it straight to LiveMigrator::SetTargetStreams).
   uint32_t Decide(const GovernorSignals& signals);
 
   uint32_t target() const { return target_; }
-  const MigrationGovernorReport& report() const { return report_; }
+  const MigrationGovernorReport& report() const;
 
  private:
   MigrationGovernorOptions opts_;
   uint32_t target_;
-  MigrationGovernorReport report_;
+  mutable MigrationGovernorReport report_;
+  // Registry-backed counters (null without a registry) and this
+  // governor's base offsets into them.
+  obs::MetricsRegistry::Counter* c_decisions_ = nullptr;
+  obs::MetricsRegistry::Counter* c_widens_ = nullptr;
+  obs::MetricsRegistry::Counter* c_narrows_ = nullptr;
+  obs::MetricsRegistry::Gauge* g_width_ = nullptr;
+  uint64_t base_decisions_ = 0;
+  uint64_t base_widens_ = 0;
+  uint64_t base_narrows_ = 0;
 };
 
 }  // namespace chiller::migrate

@@ -1,0 +1,54 @@
+#include "obs/metrics_registry.h"
+
+#include "obs/trace_recorder.h"
+
+namespace chiller::obs {
+
+MetricsRegistry::Counter* MetricsRegistry::GetCounter(const char* name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_pair(name, std::unique_ptr<Counter>(
+                                               new Counter(num_engines_))))
+             .first;
+  }
+  return it->second.second.get();
+}
+
+MetricsRegistry::Gauge* MetricsRegistry::GetGauge(const char* name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_pair(name, std::unique_ptr<Gauge>(
+                                               new Gauge(num_engines_))))
+             .first;
+  }
+  return it->second.second.get();
+}
+
+MetricsRegistry::Hist* MetricsRegistry::GetHistogram(const char* name) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_
+             .emplace(std::string(name),
+                      std::make_pair(name, std::unique_ptr<Hist>(
+                                               new Hist(num_engines_))))
+             .first;
+  }
+  return it->second.second.get();
+}
+
+void MetricsRegistry::Snapshot(SimTime ts, TraceRecorder* trace) const {
+  if (trace == nullptr || !trace->active()) return;
+  for (const auto& [key, entry] : counters_) {
+    trace->Counter(ts, entry.first, entry.second->Sum());
+  }
+  for (const auto& [key, entry] : gauges_) {
+    trace->Counter(ts, entry.first,
+                   static_cast<uint64_t>(entry.second->Value()));
+  }
+}
+
+}  // namespace chiller::obs

@@ -1,0 +1,138 @@
+// Named cluster metrics: engine-sharded counters/gauges/histograms with
+// deterministic control-plane reads and trace snapshots.
+#ifndef CHILLER_OBS_METRICS_REGISTRY_H_
+#define CHILLER_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace chiller::obs {
+
+class TraceRecorder;
+
+/// Named metric handles shared by the driver, the load models, the
+/// scheduler, the live migrator, the governor and the adaptive controller.
+/// Handles are get-or-registered by name: a component reconstructed every
+/// controller epoch (the migrator, the governor) accumulates into the same
+/// handle across its lifetimes.
+///
+/// Determinism contract (the RunStats discipline): mutations happen from
+/// engine domain events through per-engine cells — or from control context
+/// through the control cell — and every read merges cells engine-ascending
+/// at control. Derived report bytes are therefore identical for any
+/// --jobs x --shards combination.
+class MetricsRegistry {
+ public:
+  /// Monotonic counter, one padded cell per engine plus a control cell.
+  class Counter {
+   public:
+    /// Engine-domain increment (engine `e`'s events only).
+    void Add(EngineId e, uint64_t n = 1) { cells_[e].v += n; }
+    /// Control-plane increment (migration pipelines, the governor).
+    void AddControl(uint64_t n = 1) { control_ += n; }
+    /// Merged total; control-plane only.
+    uint64_t Sum() const {
+      uint64_t total = control_;
+      for (const Cell& c : cells_) total += c.v;
+      return total;
+    }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Counter(uint32_t num_engines) : cells_(num_engines) {}
+    struct alignas(64) Cell {
+      uint64_t v = 0;
+    };
+    std::vector<Cell> cells_;
+    uint64_t control_ = 0;
+  };
+
+  /// Signed level gauge (queue depths, in-flight streams): engine domains
+  /// apply deltas to their cell, control either applies deltas or assigns
+  /// the control cell outright.
+  class Gauge {
+   public:
+    void Add(EngineId e, int64_t delta) { cells_[e].v += delta; }
+    /// Control-plane assignment; only for gauges written exclusively from
+    /// control (the governor's stream width).
+    void Set(int64_t v) { control_ = v; }
+    /// Merged level; control-plane only.
+    int64_t Value() const {
+      int64_t total = control_;
+      for (const Cell& c : cells_) total += c.v;
+      return total;
+    }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Gauge(uint32_t num_engines) : cells_(num_engines) {}
+    struct alignas(64) Cell {
+      int64_t v = 0;
+    };
+    std::vector<Cell> cells_;
+    int64_t control_ = 0;
+  };
+
+  /// Engine-sharded histogram with a control-plane take-and-reset read
+  /// (the governor consumes one latency window per epoch).
+  class Hist {
+   public:
+    void Add(EngineId e, uint64_t value) { cells_[e].h.Add(value); }
+    /// Merged view; control-plane only.
+    Histogram Merged() const {
+      Histogram out;
+      for (const Cell& c : cells_) out.Merge(c.h);
+      return out;
+    }
+    /// Merge then clear every cell; control-plane only.
+    Histogram TakeMerged() {
+      Histogram out;
+      for (Cell& c : cells_) {
+        out.Merge(c.h);
+        c.h.Reset();
+      }
+      return out;
+    }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Hist(uint32_t num_engines) : cells_(num_engines) {}
+    struct alignas(64) Cell {
+      Histogram h;
+    };
+    std::vector<Cell> cells_;
+  };
+
+  explicit MetricsRegistry(uint32_t num_engines) : num_engines_(num_engines) {}
+
+  // Get-or-register. `name` must be a string literal (trace counter
+  // samples reference it beyond the registry's mutation phase).
+  Counter* GetCounter(const char* name);
+  Gauge* GetGauge(const char* name);
+  Hist* GetHistogram(const char* name);
+
+  /// Emits one 'C' sample per counter and gauge into `trace` at `ts`, in
+  /// name-sorted order (counters first). Control-plane only — called at
+  /// timeline-slice boundaries so registry levels share the commit
+  /// timeline.
+  void Snapshot(SimTime ts, TraceRecorder* trace) const;
+
+ private:
+  template <typename T>
+  using Table = std::map<std::string, std::pair<const char*, std::unique_ptr<T>>>;
+
+  uint32_t num_engines_;
+  Table<Counter> counters_;
+  Table<Gauge> gauges_;
+  Table<Hist> hists_;
+};
+
+}  // namespace chiller::obs
+
+#endif  // CHILLER_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,237 @@
+#include "obs/trace_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace chiller::obs {
+
+namespace {
+
+/// Labels come from scenario specs; keep the emitted JSON well-formed no
+/// matter what they contain.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      out += '_';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Microseconds with a 3-digit nanosecond fraction, integer math only.
+void AppendTs(std::string* out, SimTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(uint32_t sample_every, uint32_t num_nodes,
+                             std::vector<uint32_t> node_of_engine)
+    : sample_every_(sample_every),
+      num_nodes_(num_nodes),
+      node_of_engine_(std::move(node_of_engine)),
+      engine_buffers_(node_of_engine_.size()) {}
+
+void TraceRecorder::Span(EngineId e, SimTime start, SimTime end,
+                         const char* name, TxnId logical_id, uint32_t attempt,
+                         const char* reason, const char* arg_key,
+                         uint64_t arg_value) {
+  if (!active()) return;
+  CHILLER_DCHECK(end >= start) << "span ends before it starts: " << name;
+  Event ev;
+  ev.ts = start;
+  ev.dur = end - start;
+  ev.value = arg_value;
+  ev.logical_id = logical_id;
+  ev.name = name;
+  ev.reason = reason;
+  ev.arg_key = arg_key;
+  ev.node = node_of_engine_[e];
+  ev.engine = e;
+  ev.attempt = attempt;
+  ev.phase = 'X';
+  engine_buffers_[e].events.push_back(ev);
+}
+
+void TraceRecorder::Instant(EngineId e, SimTime ts, const char* name,
+                            TxnId logical_id, uint32_t attempt,
+                            const char* reason, const char* arg_key,
+                            uint64_t arg_value) {
+  if (!active()) return;
+  Event ev;
+  ev.ts = ts;
+  ev.value = arg_value;
+  ev.logical_id = logical_id;
+  ev.name = name;
+  ev.reason = reason;
+  ev.arg_key = arg_key;
+  ev.node = node_of_engine_[e];
+  ev.engine = e;
+  ev.attempt = attempt;
+  ev.phase = 'i';
+  engine_buffers_[e].events.push_back(ev);
+}
+
+void TraceRecorder::Counter(SimTime ts, const char* name, uint64_t value) {
+  if (!active()) return;
+  Event ev;
+  ev.ts = ts;
+  ev.value = value;
+  ev.name = name;
+  ev.node = num_nodes_;  // the cluster pseudo-process sorts after all nodes
+  ev.engine = 0;
+  ev.phase = 'C';
+  control_buffer_.events.push_back(ev);
+}
+
+size_t TraceRecorder::events_recorded() const {
+  size_t total = control_buffer_.events.size();
+  for (const Buffer& b : engine_buffers_) total += b.events.size();
+  return total;
+}
+
+void TraceRecorder::AppendEventJson(std::string* out, const Event& ev,
+                                    uint32_t pid_offset) const {
+  *out += "{\"name\":\"";
+  *out += ev.name;
+  *out += "\",\"ph\":\"";
+  *out += ev.phase;
+  *out += "\",\"ts\":";
+  AppendTs(out, ev.ts);
+  if (ev.phase == 'X') {
+    *out += ",\"dur\":";
+    AppendTs(out, ev.dur);
+  } else if (ev.phase == 'i') {
+    *out += ",\"s\":\"t\"";
+  }
+  *out += ",\"pid\":";
+  AppendU64(out, pid_offset + ev.node);
+  *out += ",\"tid\":";
+  AppendU64(out, ev.phase == 'C' ? 0 : ev.engine);
+  *out += ",\"args\":{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) *out += ',';
+    first = false;
+  };
+  if (ev.phase == 'C') {
+    sep();
+    *out += "\"value\":";
+    AppendU64(out, ev.value);
+  } else {
+    if (ev.logical_id != 0) {
+      sep();
+      *out += "\"txn\":";
+      AppendU64(out, ev.logical_id);
+      sep();
+      *out += "\"attempt\":";
+      AppendU64(out, ev.attempt);
+    }
+    if (ev.reason != nullptr) {
+      sep();
+      *out += "\"reason\":\"";
+      *out += ev.reason;
+      *out += '"';
+    }
+    if (ev.arg_key != nullptr) {
+      sep();
+      *out += '"';
+      *out += ev.arg_key;
+      *out += "\":";
+      AppendU64(out, ev.value);
+    }
+  }
+  *out += "}}";
+}
+
+void TraceRecorder::AppendEvents(std::string* out, uint32_t pid_offset,
+                                 const std::string& label) const {
+  auto append = [&](const std::string& obj) {
+    if (!out->empty()) *out += ",\n";
+    *out += obj;
+  };
+  const std::string prefix =
+      label.empty() ? std::string() : JsonEscape(label) + " ";
+  // Metadata first: process names per node, the cluster pseudo-process,
+  // thread names per engine.
+  for (uint32_t n = 0; n < num_nodes_; ++n) {
+    std::string meta = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    AppendU64(&meta, pid_offset + n);
+    meta += ",\"args\":{\"name\":\"" + prefix + "node ";
+    AppendU64(&meta, n);
+    meta += "\"}}";
+    append(meta);
+  }
+  {
+    std::string meta = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    AppendU64(&meta, pid_offset + num_nodes_);
+    meta += ",\"args\":{\"name\":\"" + prefix + "cluster\"}}";
+    append(meta);
+  }
+  for (uint32_t e = 0; e < node_of_engine_.size(); ++e) {
+    std::string meta = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+    AppendU64(&meta, pid_offset + node_of_engine_[e]);
+    meta += ",\"tid\":";
+    AppendU64(&meta, e);
+    meta += ",\"args\":{\"name\":\"engine ";
+    AppendU64(&meta, e);
+    meta += "\"}}";
+    append(meta);
+  }
+
+  // Merge the single-writer buffers into one canonical order. Each buffer
+  // is already in its domain's canonical event order; (ts, node, engine)
+  // never ties across two different buffers (each engine has exactly one
+  // buffer and the control buffer's node is unique), so a stable sort over
+  // the concatenation is a total, shard-independent order.
+  std::vector<const Event*> merged;
+  merged.reserve(events_recorded());
+  for (const Buffer& b : engine_buffers_) {
+    for (const Event& ev : b.events) merged.push_back(&ev);
+  }
+  for (const Event& ev : control_buffer_.events) merged.push_back(&ev);
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->ts != b->ts) return a->ts < b->ts;
+                     if (a->node != b->node) return a->node < b->node;
+                     return a->engine < b->engine;
+                   });
+  std::string obj;
+  for (const Event* ev : merged) {
+    obj.clear();
+    AppendEventJson(&obj, *ev, pid_offset);
+    append(obj);
+  }
+}
+
+std::string TraceRecorder::WrapTrace(const std::string& events) {
+  std::string out = "{\"traceEvents\":[\n";
+  out += events;
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TraceRecorder::DumpJson() const {
+  std::string events;
+  AppendEvents(&events, /*pid_offset=*/0, /*label=*/"");
+  return WrapTrace(events);
+}
+
+}  // namespace chiller::obs

@@ -1,0 +1,122 @@
+// Deterministic per-transaction tracing in simulated time, dumped as
+// Chrome trace-event JSON (chrome://tracing, Perfetto).
+#ifndef CHILLER_OBS_TRACE_RECORDER_H_
+#define CHILLER_OBS_TRACE_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace chiller::obs {
+
+/// Records spans, instants and counter samples in *simulated* time for a
+/// deterministically sampled subset of transactions. The dump maps one
+/// trace "process" per simulated node and one "thread" per engine;
+/// control-plane samples land on a dedicated "cluster" pseudo-process.
+///
+/// Determinism contract (same discipline as RunStats): every Span/Instant
+/// must be recorded from a domain event of the engine it names — engine
+/// events execute in the canonical (time, domain, origin, seq) order on
+/// every shard layout, so each per-engine buffer is single-writer and
+/// canonically ordered. Counter must only be called from control context.
+/// The dump merges buffers by (ts, node, engine), which makes the emitted
+/// bytes a pure function of the scenario spec: identical for any
+/// --jobs x --shards combination. Timestamps are formatted with integer
+/// arithmetic only (microseconds with a 3-digit nanosecond fraction), so
+/// no floating-point rounding can perturb the bytes either.
+class TraceRecorder {
+ public:
+  /// `sample_every` == 0 disables recording (active() is false and every
+  /// record call returns immediately). `node_of_engine[e]` maps engine `e`
+  /// to its trace process.
+  TraceRecorder(uint32_t sample_every, uint32_t num_nodes,
+                std::vector<uint32_t> node_of_engine);
+
+  bool active() const { return sample_every_ != 0; }
+  uint32_t sample_every() const { return sample_every_; }
+
+  /// The sampling rule. Logical ids are issued per engine as
+  /// `k * num_engines + e + 1` (k = 0, 1, ...), and every engine's k-th
+  /// logical transaction is traced when k % sample_every == 0 — every
+  /// engine contributes from its first draw onward, independent of how
+  /// engines interleave.
+  bool Sampled(TxnId logical_id) const {
+    if (!active()) return false;
+    const uint64_t k =
+        (logical_id - 1) / static_cast<uint64_t>(node_of_engine_.size());
+    return k % sample_every_ == 0;
+  }
+
+  /// Complete span ('X') on engine `e`'s thread covering [start, end] sim
+  /// ns. `name`, `reason` and `arg_key` must outlive the recorder (string
+  /// literals). `reason` renders as args.reason, `arg_key`/`arg_value` as
+  /// one extra numeric arg.
+  void Span(EngineId e, SimTime start, SimTime end, const char* name,
+            TxnId logical_id, uint32_t attempt, const char* reason = nullptr,
+            const char* arg_key = nullptr, uint64_t arg_value = 0);
+
+  /// Thread-scoped instant event ('i') on engine `e`'s thread.
+  void Instant(EngineId e, SimTime ts, const char* name, TxnId logical_id,
+               uint32_t attempt, const char* reason = nullptr,
+               const char* arg_key = nullptr, uint64_t arg_value = 0);
+
+  /// Counter sample ('C') on the cluster pseudo-process. Control-plane
+  /// only.
+  void Counter(SimTime ts, const char* name, uint64_t value);
+
+  /// Appends this scenario's metadata and events to `out` as ",\n"-joined
+  /// JSON objects (no enclosing array), shifting every pid by `pid_offset`
+  /// so several scenarios can share one trace file. A non-empty `label`
+  /// prefixes the process names.
+  void AppendEvents(std::string* out, uint32_t pid_offset,
+                    const std::string& label) const;
+
+  /// Trace-process count of one scenario — one per node plus the cluster
+  /// pseudo-process; the pid_offset stride for multi-scenario files.
+  uint32_t num_pids() const { return num_nodes_ + 1; }
+
+  /// Standalone single-scenario trace document.
+  std::string DumpJson() const;
+
+  /// Total events recorded so far (tests and emptiness checks).
+  size_t events_recorded() const;
+
+  /// Wraps ",\n"-joined event objects into a trace document.
+  static std::string WrapTrace(const std::string& events);
+
+ private:
+  struct Event {
+    SimTime ts = 0;
+    SimTime dur = 0;
+    uint64_t value = 0;  ///< arg_value, or the counter sample
+    TxnId logical_id = 0;
+    const char* name = nullptr;
+    const char* reason = nullptr;
+    const char* arg_key = nullptr;
+    uint32_t node = 0;
+    uint32_t engine = 0;
+    uint32_t attempt = 0;
+    char phase = 'i';
+  };
+
+  /// Single-writer per-engine buffers (padded: engines on different
+  /// simulator shards append concurrently) plus one control buffer.
+  struct alignas(64) Buffer {
+    std::vector<Event> events;
+  };
+
+  void AppendEventJson(std::string* out, const Event& ev,
+                       uint32_t pid_offset) const;
+
+  uint32_t sample_every_;
+  uint32_t num_nodes_;
+  std::vector<uint32_t> node_of_engine_;
+  std::vector<Buffer> engine_buffers_;
+  Buffer control_buffer_;
+};
+
+}  // namespace chiller::obs
+
+#endif  // CHILLER_OBS_TRACE_RECORDER_H_

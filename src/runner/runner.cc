@@ -196,6 +196,7 @@ StatusOr<ScenarioEnv> ScenarioRunner::Wire(const ScenarioSpec& spec) {
                                .replication_degree = spec.replication_degree};
   cfg.schema = env.bundle->Schema();
   cfg.shards = spec.shards;
+  cfg.trace_sample_every = spec.trace_sample_every;
   env.cluster = std::make_unique<cc::Cluster>(cfg);
   env.bundle->Load(env.cluster.get());
 
@@ -259,6 +260,10 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
         .end = sim->now(),
         .commits = driver->lifetime_commits() - c0,
         .latency_ns_sum = driver->lifetime_latency_ns() - l0});
+    // Slice boundaries double as the trace's counter-sampling points: one
+    // registry snapshot per slice puts every counter/gauge track on the
+    // same timeline as the spans.
+    env->cluster->metrics()->Snapshot(sim->now(), env->cluster->trace());
   };
   auto advance_recorded = [&](SimTime duration) {
     if (timeline == nullptr) {
@@ -278,6 +283,7 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
   };
   auto finish = [&]() -> ScenarioResult {
     result.stats = driver->stats();
+    result.trace = env->cluster->shared_trace();
     driver->DrainAndStop();
     result.wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - wall_start)
@@ -477,7 +483,7 @@ StatusOr<ScenarioResult> ScenarioRunner::Run(const ScenarioSpec& spec) {
                   .max_streams = spec.governor_max_streams,
                   .p99_budget = spec.governor_p99_budget,
                   .max_abort_share = spec.governor_max_abort_share},
-              spec.migrate_streams);
+              spec.migrate_streams, env->cluster->metrics());
         }
         const SimTime t0 = sim->now();
         const uint64_t c0 = driver->lifetime_commits();

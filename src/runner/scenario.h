@@ -8,6 +8,7 @@
 #ifndef CHILLER_RUNNER_SCENARIO_H_
 #define CHILLER_RUNNER_SCENARIO_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "cc/migration.h"
 #include "cc/protocol.h"
 #include "common/types.h"
+#include "obs/trace_recorder.h"
 #include "runner/options.h"
 
 namespace chiller::runner {
@@ -186,6 +188,13 @@ struct ScenarioSpec {
   SimTime timeline_slice = 0;
   // ------------------------------------------------------------------------
 
+  /// Trace every engine's k-th logical transaction when
+  /// k % trace_sample_every == 0 (see obs::TraceRecorder::Sampled); 0
+  /// disables tracing. Like shards, tracing must never change results:
+  /// spans record from the same domain events that already run, so stats
+  /// bytes are identical with tracing on or off.
+  uint32_t trace_sample_every = 0;
+
   /// Approximate peak resident bytes this scenario needs while loaded
   /// (cluster + replicas). 0 = unknown. SweepExecutor uses it to cap the
   /// scenarios loaded concurrently against a memory budget; see
@@ -280,6 +289,11 @@ struct ScenarioResult {
   ScenarioSpec spec;
   cc::RunStats stats;
   AdaptiveReport adaptive;
+  /// The run's trace recorder (never null after ScenarioRunner::Run;
+  /// inactive unless spec.trace_sample_every > 0). Shared so the recorder
+  /// outlives the run's cluster — SweepExecutor merges the per-scenario
+  /// recorders into one --trace-out file after the sweep.
+  std::shared_ptr<const obs::TraceRecorder> trace;
   double wall_ms = 0.0;
   /// Process-RSS growth observed across wiring + loading this scenario's
   /// cluster (bytes; 0 when the probe is unavailable). Sampled while the

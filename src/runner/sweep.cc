@@ -11,7 +11,22 @@
 #include <unistd.h>
 #endif
 
+#include "common/logging.h"
+#include "obs/trace_recorder.h"
+
 namespace chiller::runner {
+
+namespace {
+
+/// printf-style float rendering for CHILLER_LOG lines (the stream carries
+/// strings; precision lives in the format).
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+}  // namespace
 
 uint32_t ResolveJobs(uint32_t jobs) {
   if (jobs != 0) return jobs;
@@ -87,10 +102,9 @@ std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
   if (!calibration_cache_.empty() &&
       FootprintCalibrationCache::Load(calibration_cache_, &calibration)) {
     calibrated = true;
-    std::fprintf(stderr,
-                 "  [sweep] footprint gate calibration x%.2f loaded from "
-                 "%s\n",
-                 calibration, calibration_cache_.c_str());
+    CHILLER_LOG(INFO) << "[sweep] footprint gate calibration x"
+                      << Fmt("%.2f", calibration) << " loaded from "
+                      << calibration_cache_;
   }
   auto corrected = [&](uint64_t hint) -> uint64_t {
     // Caller holds budget_mu.
@@ -137,22 +151,24 @@ std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
       // growth observed while this scenario's cluster was loading.
       constexpr double kMb = 1024.0 * 1024.0;
       if (observed == 0) {
-        std::fprintf(stderr,
-                     "  [sweep] scenario %zu: footprint hint %.1f MB, "
-                     "charged %.1f MB "
-                     "(RSS probe unavailable or no growth observed)\n",
-                     i, static_cast<double>(hint) / kMb,
-                     static_cast<double>(charge) / kMb);
+        CHILLER_LOG(INFO)
+            << "[sweep] scenario " << i << ": footprint hint "
+            << Fmt("%.1f", static_cast<double>(hint) / kMb)
+            << " MB, charged "
+            << Fmt("%.1f", static_cast<double>(charge) / kMb)
+            << " MB (RSS probe unavailable or no growth observed)";
       } else {
-        std::fprintf(stderr,
-                     "  [sweep] scenario %zu: footprint hint %.1f MB, "
-                     "charged %.1f MB, loaded RSS delta %.1f MB "
-                     "(gate calibration x%.2f)\n",
-                     i, static_cast<double>(hint) / kMb,
-                     static_cast<double>(charge) / kMb,
-                     static_cast<double>(observed) / kMb,
-                     static_cast<double>(observed) /
-                         static_cast<double>(hint));
+        CHILLER_LOG(INFO)
+            << "[sweep] scenario " << i << ": footprint hint "
+            << Fmt("%.1f", static_cast<double>(hint) / kMb)
+            << " MB, charged "
+            << Fmt("%.1f", static_cast<double>(charge) / kMb)
+            << " MB, loaded RSS delta "
+            << Fmt("%.1f", static_cast<double>(observed) / kMb)
+            << " MB (gate calibration x"
+            << Fmt("%.2f", static_cast<double>(observed) /
+                               static_cast<double>(hint))
+            << ")";
       }
     }
     release(charge, hint, observed);
@@ -166,11 +182,9 @@ std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
   // jobs x shards stays at the machine scale the user asked for.
   const uint32_t workers = EffectiveJobs(specs);
   if (workers != jobs_) {
-    std::fprintf(stderr,
-                 "  [sweep] sharded scenarios in the grid: running %u "
-                 "sweep worker(s) instead of %u so jobs x shards does not "
-                 "oversubscribe\n",
-                 workers, jobs_);
+    CHILLER_LOG(INFO) << "[sweep] sharded scenarios in the grid: running "
+                      << workers << " sweep worker(s) instead of " << jobs_
+                      << " so jobs x shards does not oversubscribe";
   }
   // ParallelMap needs default-constructed slots; StatusOr has no default
   // state, so map into optionals and unwrap after the barrier.
@@ -181,15 +195,37 @@ std::vector<StatusOr<ScenarioResult>> SweepExecutor::Run(
       });
   if (!calibration_cache_.empty() && calibrated) {
     if (!FootprintCalibrationCache::Save(calibration_cache_, calibration)) {
-      std::fprintf(stderr,
-                   "  [sweep] could not persist footprint calibration to "
-                   "%s\n",
-                   calibration_cache_.c_str());
+      CHILLER_LOG(WARN) << "[sweep] could not persist footprint calibration "
+                           "to "
+                        << calibration_cache_;
     }
   }
   std::vector<StatusOr<ScenarioResult>> results;
   results.reserve(slots.size());
   for (auto& slot : slots) results.push_back(std::move(*slot));
+  if (!trace_out_.empty()) {
+    // Merge this call's traces into the cumulative event buffer in spec
+    // order (completion order is scheduling-dependent; spec order is not)
+    // and rewrite the whole file, so the trace on disk is valid JSON after
+    // every Run call. Each scenario's nodes get a fresh pid range.
+    for (const StatusOr<ScenarioResult>& r : results) {
+      if (!r.ok() || r->trace == nullptr || !r->trace->active()) continue;
+      const std::string label =
+          r->spec.label.empty() ? r->spec.workload + "/" + r->spec.protocol
+                                : r->spec.label;
+      r->trace->AppendEvents(&trace_events_, trace_pid_base_, label);
+      trace_pid_base_ += r->trace->num_pids();
+    }
+    const std::string json = obs::TraceRecorder::WrapTrace(trace_events_);
+    std::FILE* f = std::fopen(trace_out_.c_str(), "w");
+    if (f == nullptr) {
+      CHILLER_LOG(WARN) << "[sweep] could not open trace output "
+                        << trace_out_;
+    } else {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+  }
   return results;
 }
 

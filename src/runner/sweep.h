@@ -103,6 +103,15 @@ class SweepExecutor {
   }
   const std::string& calibration_cache() const { return calibration_cache_; }
 
+  /// When set, every completed traced scenario's spans are appended to
+  /// this Chrome trace-event file (one "process" per node per scenario,
+  /// pids striped in spec order). Cumulative across Run calls on the same
+  /// executor — each call rewrites the file with everything gathered so
+  /// far, so a bench that sweeps figure-by-figure still emits one trace.
+  /// Scenarios run with trace_sample_every == 0 contribute nothing.
+  void set_trace_out(std::string path) { trace_out_ = std::move(path); }
+  const std::string& trace_out() const { return trace_out_; }
+
   /// Caps the summed ScenarioSpec::footprint_hint of concurrently-running
   /// scenarios (N concurrent TPC-C clusters multiply peak RSS). 0 =
   /// unlimited. A worker whose next spec would exceed the budget waits for
@@ -138,6 +147,11 @@ class SweepExecutor {
   uint32_t jobs_;
   uint64_t mem_budget_bytes_ = 0;
   std::string calibration_cache_;
+  std::string trace_out_;
+  // Cumulative trace state across Run calls (traces merge in spec order
+  // on the bench thread after the parallel barrier, so no lock is needed).
+  mutable std::string trace_events_;
+  mutable uint32_t trace_pid_base_ = 0;
 };
 
 /// Rough peak resident bytes for one wired scenario (primary + replica

@@ -2,9 +2,6 @@
 
 #include <utility>
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "common/logging.h"
 
 namespace chiller::storage {
@@ -38,11 +35,12 @@ Status PartitionStore::TryLock(const RecordId& rid, LockMode mode) {
   const bool ok = mode == LockMode::kShared ? b->TryLockShared()
                                             : b->TryLockExclusive();
   if (!ok) {
-    if (getenv("CHILLER_TRACE_CONFLICTS") != nullptr) {
-      fprintf(stderr, "CONFLICT part=%u table=%u key=%llu mode=%d word=%llx\n",
-              id_, rid.table, (unsigned long long)rid.key, (int)mode,
-              (unsigned long long)b->lock_word());
-    }
+    // Per-conflict diagnostics are hot-path noise; the DEBUG level keeps
+    // them gated behind SetMinLogLevel(LogLevel::kDebug).
+    CHILLER_LOG(DEBUG) << "lock conflict part=" << id_
+                       << " table=" << rid.table << " key=" << rid.key
+                       << " mode=" << static_cast<int>(mode)
+                       << " word=" << b->lock_word();
     return Status::Aborted("lock conflict");
   }
   ++locks_held_;

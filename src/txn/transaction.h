@@ -98,6 +98,14 @@ class Transaction {
   /// class-serialized admission stays consistent until the logical
   /// transaction settles. The value matches schedule::kColdClass.
   uint32_t sched_class = 0xffffffffu;
+  /// Identity of the *logical* transaction across its retry attempts.
+  /// Issued per engine as k * num_engines + e + 1 (so each engine counts
+  /// its own draws) the first time the driver sees the transaction; `id`
+  /// stays per-attempt. 0 means not yet assigned.
+  TxnId logical_id = 0;
+  /// True when the trace recorder sampled this logical transaction; every
+  /// span/instant recording site checks this flag. Carried across retries.
+  bool traced = false;
 
   /// Must be called once after `ops` is filled.
   void InitAccesses() { accesses.assign(ops.size(), Access{}); }

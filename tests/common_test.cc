@@ -228,6 +228,63 @@ TEST(HistogramTest, LargeValuesDoNotOverflow) {
   EXPECT_GE(h.Percentile(100), (1ull << 62) / 2);
 }
 
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.Add(10);
+  a.Add(500);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 500u);
+  // Merging into an empty histogram adopts the other side wholesale.
+  Histogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 10u);
+  EXPECT_EQ(b.max(), 500u);
+}
+
+TEST(HistogramTest, ResetClearsExtremes) {
+  Histogram h;
+  h.Add(7);
+  h.Add(1ull << 40);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  // A post-Reset sample must define fresh extremes — no stale min/max.
+  h.Add(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+}
+
+TEST(HistogramTest, PercentileBoundsBracketSamples) {
+  Histogram h;
+  for (uint64_t v = 100; v <= 10000; v += 100) h.Add(v);
+  // p = 0 reports at or below the smallest sample's bucket bound; p = 100
+  // at or above the largest sample (within the ~3% bucket error).
+  EXPECT_LE(h.Percentile(0), 100u);
+  EXPECT_GE(h.Percentile(100), 10000u * 97 / 100);
+  EXPECT_LE(h.Percentile(0), h.Percentile(50));
+  EXPECT_LE(h.Percentile(50), h.Percentile(100));
+}
+
+TEST(HistogramTest, TopOctaveValuesStayOrdered) {
+  // Values at and beyond the top octave's sub-bucket resolution must land
+  // in valid buckets and keep percentile monotonicity (no wraparound).
+  Histogram h;
+  const uint64_t kMax = ~0ull;
+  h.Add(kMax);
+  h.Add(kMax - 1);
+  h.Add(1ull << 63);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), kMax);
+  EXPECT_EQ(h.min(), 1ull << 63);
+  EXPECT_GE(h.Percentile(100), 1ull << 63);
+  EXPECT_LE(h.Percentile(0), h.Percentile(100));
+}
+
 TEST(RunningStatTest, MeanAndVariance) {
   RunningStat s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);

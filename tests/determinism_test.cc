@@ -551,6 +551,75 @@ TEST(ShardDeterminismTest, ConcurrentStreamsShardsTimesJobsAreByteIdentical) {
             results[0]->adaptive.migration.sim_time);
 }
 
+// ---------------------------------------------------------------------------
+// Trace determinism: with tracing enabled the emitted trace bytes are a
+// pure function of the spec — byte-identical for every shards x jobs
+// combination — and enabling tracing never changes any result byte.
+// ---------------------------------------------------------------------------
+
+std::vector<runner::ScenarioSpec> WithTracing(
+    std::vector<runner::ScenarioSpec> specs, uint32_t every) {
+  for (auto& s : specs) s.trace_sample_every = every;
+  return specs;
+}
+
+/// Concatenated standalone trace documents, spec order.
+std::string TraceFingerprint(
+    const std::vector<StatusOr<runner::ScenarioResult>>& results) {
+  std::string out;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) continue;
+    EXPECT_NE(r->trace, nullptr);
+    if (r->trace != nullptr) out += r->trace->DumpJson();
+  }
+  return out;
+}
+
+/// The traced grid: one spec per workload family, one scheduled open-loop
+/// point (classify/route instants), one live-migration plan
+/// (migration-abort blocks) — every span family the recorder emits.
+std::vector<runner::ScenarioSpec> TracedSweep() {
+  std::vector<runner::ScenarioSpec> base;
+  for (auto& spec : MixedSweep()) {
+    if (spec.seed == 5) base.push_back(std::move(spec));
+  }
+  base.push_back(SchedulerSweep().front());
+  base.push_back(LiveMigrationSweep().front());
+  return WithTracing(std::move(base), 4);
+}
+
+TEST(TraceDeterminismTest, TraceBytesShardsTimesJobsAreByteIdentical) {
+  const auto base = TracedSweep();
+  ExpectShardInvariance(base, TraceFingerprint);
+  const auto results = runner::SweepExecutor(1).Run(WithShards(base, 1));
+  const std::string trace = TraceFingerprint(results);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r->trace->events_recorded(), 0u);
+  }
+  // The grid must cover the span vocabulary it claims to.
+  for (const char* needle :
+       {"\"name\":\"attempt\"", "\"name\":\"commit\"",
+        "\"name\":\"sched_classify\"", "\"name\":\"sched_route\"",
+        "\"name\":\"driver.commits\""}) {
+    EXPECT_NE(trace.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(TraceDeterminismTest, TracingNeverChangesResults) {
+  std::vector<runner::ScenarioSpec> base;
+  for (auto& spec : MixedSweep()) {
+    if (spec.seed == 5) base.push_back(std::move(spec));
+  }
+  base.push_back(LiveMigrationSweep().front());
+  const std::string off = LiveFingerprint(runner::SweepExecutor(1).Run(base));
+  const std::string on = LiveFingerprint(
+      runner::SweepExecutor(1).Run(WithTracing(base, 1)));
+  EXPECT_FALSE(off.empty());
+  EXPECT_EQ(off, on);
+}
+
 TEST(ShardDeterminismTest,
      ContinuousMigrationShardsTimesJobsAreByteIdentical) {
   // One live-migrate phase plan and the continuous-controller spec: bucket

@@ -1,0 +1,234 @@
+// Unit tests for src/obs: TraceRecorder (sampling rule, Chrome trace-event
+// formatting, canonical merge order) and MetricsRegistry (handle identity,
+// engine-sharded accumulation, trace snapshots).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
+
+namespace chiller::obs {
+namespace {
+
+TraceRecorder MakeRecorder(uint32_t sample_every, uint32_t num_nodes,
+                           uint32_t engines_per_node) {
+  std::vector<uint32_t> node_of_engine;
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    for (uint32_t e = 0; e < engines_per_node; ++e) {
+      node_of_engine.push_back(n);
+    }
+  }
+  return TraceRecorder(sample_every, num_nodes, std::move(node_of_engine));
+}
+
+TEST(TraceRecorderTest, InactiveWhenSampleEveryZero) {
+  TraceRecorder t = MakeRecorder(0, 2, 1);
+  EXPECT_FALSE(t.active());
+  EXPECT_FALSE(t.Sampled(1));
+  t.Span(0, 10, 20, "attempt", 1, 0);
+  t.Instant(1, 15, "commit", 1, 0);
+  t.Counter(20, "driver.commits", 5);
+  EXPECT_EQ(t.events_recorded(), 0u);
+}
+
+TEST(TraceRecorderTest, SamplingRuleCoversEveryEngine) {
+  // 2 engines, sample every 3rd draw: logical ids are issued per engine as
+  // k * 2 + e + 1, and engine e's k-th draw is traced iff k % 3 == 0. Both
+  // engines must sample their first draw (ids 1 and 2).
+  TraceRecorder t = MakeRecorder(3, 2, 1);
+  ASSERT_TRUE(t.active());
+  EXPECT_TRUE(t.Sampled(1));   // engine 0, k = 0
+  EXPECT_TRUE(t.Sampled(2));   // engine 1, k = 0
+  EXPECT_FALSE(t.Sampled(3));  // engine 0, k = 1
+  EXPECT_FALSE(t.Sampled(4));  // engine 1, k = 1
+  EXPECT_FALSE(t.Sampled(5));  // k = 2
+  EXPECT_FALSE(t.Sampled(6));
+  EXPECT_TRUE(t.Sampled(7));   // engine 0, k = 3
+  EXPECT_TRUE(t.Sampled(8));   // engine 1, k = 3
+}
+
+TEST(TraceRecorderTest, SampleEveryOneTracesEverything) {
+  TraceRecorder t = MakeRecorder(1, 1, 4);
+  for (TxnId id = 1; id <= 64; ++id) EXPECT_TRUE(t.Sampled(id));
+}
+
+TEST(TraceRecorderTest, TimestampsAreIntegerMicrosWithNanoFraction) {
+  TraceRecorder t = MakeRecorder(1, 1, 1);
+  t.Span(0, 1500, 4750, "attempt", 1, 0);
+  const std::string json = t.DumpJson();
+  // 1500 ns -> 1.500 us, duration 3250 ns -> 3.250 us.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":3.250"), std::string::npos) << json;
+}
+
+TEST(TraceRecorderTest, EventJsonCarriesTxnReasonAndArg) {
+  TraceRecorder t = MakeRecorder(1, 1, 1);
+  t.Span(0, 0, 10, "attempt", 7, 2, "contention");
+  t.Instant(0, 10, "sched_route", 7, 0, nullptr, "target", 3);
+  const std::string json = t.DumpJson();
+  EXPECT_NE(json.find("\"name\":\"attempt\",\"ph\":\"X\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"txn\":7,\"attempt\":2,\"reason\":\"contention\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"sched_route\",\"ph\":\"i\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"target\":3"), std::string::npos) << json;
+  // Instants are thread-scoped.
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos) << json;
+}
+
+TEST(TraceRecorderTest, MergeOrderIsCanonicalAcrossBuffers) {
+  // Record out of global time order across engine buffers; the dump must
+  // come out sorted by (ts, node, engine) regardless.
+  TraceRecorder t = MakeRecorder(1, 2, 1);
+  t.Instant(1, 300, "late", 2, 0);
+  t.Instant(0, 100, "early", 1, 0);
+  t.Counter(200, "driver.commits", 1);
+  const std::string json = t.DumpJson();
+  const size_t early = json.find("\"name\":\"early\"");
+  const size_t counter = json.find("\"name\":\"driver.commits\"");
+  const size_t late = json.find("\"name\":\"late\"");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(counter, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, counter);
+  EXPECT_LT(counter, late);
+}
+
+TEST(TraceRecorderTest, CountersLandOnClusterPseudoProcess) {
+  TraceRecorder t = MakeRecorder(1, 2, 1);
+  t.Counter(50, "driver.commits", 9);
+  const std::string json = t.DumpJson();
+  // num_nodes == 2, so the cluster pseudo-process is pid 2.
+  EXPECT_NE(json.find("\"ph\":\"C\",\"ts\":0.050,\"pid\":2,\"tid\":0,"
+                      "\"args\":{\"value\":9}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(TraceRecorderTest, AppendEventsShiftsPidsAndPrefixesLabel) {
+  TraceRecorder t = MakeRecorder(1, 1, 1);
+  t.Instant(0, 10, "commit", 1, 0);
+  EXPECT_EQ(t.num_pids(), 2u);  // one node + the cluster pseudo-process
+  std::string out;
+  t.AppendEvents(&out, /*pid_offset=*/5, "fig9");
+  EXPECT_NE(out.find("\"args\":{\"name\":\"fig9 node 0\"}"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"args\":{\"name\":\"fig9 cluster\"}"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"pid\":5"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"pid\":6"), std::string::npos) << out;
+  EXPECT_EQ(out.find("\"pid\":0"), std::string::npos) << out;
+}
+
+TEST(TraceRecorderTest, DumpIsIndependentOfRecordingInterleave) {
+  // Two recorders see the same per-engine event streams delivered in
+  // different global interleaves (what different shard counts produce);
+  // their dumps must be byte-identical.
+  TraceRecorder a = MakeRecorder(1, 2, 1);
+  TraceRecorder b = MakeRecorder(1, 2, 1);
+  a.Span(0, 10, 20, "attempt", 1, 0);
+  a.Span(1, 12, 18, "attempt", 2, 0);
+  a.Instant(0, 20, "commit", 1, 0);
+  a.Instant(1, 18, "commit", 2, 0);
+  b.Span(1, 12, 18, "attempt", 2, 0);
+  b.Instant(1, 18, "commit", 2, 0);
+  b.Span(0, 10, 20, "attempt", 1, 0);
+  b.Instant(0, 20, "commit", 1, 0);
+  EXPECT_EQ(a.DumpJson(), b.DumpJson());
+}
+
+TEST(TraceRecorderTest, WrapTraceProducesDocument) {
+  EXPECT_EQ(TraceRecorder::WrapTrace(""), "{\"traceEvents\":[\n\n]}\n");
+  const std::string doc = TraceRecorder::WrapTrace("{\"a\":1},\n{\"b\":2}");
+  EXPECT_EQ(doc, "{\"traceEvents\":[\n{\"a\":1},\n{\"b\":2}\n]}\n");
+}
+
+TEST(MetricsRegistryTest, GetOrRegisterReturnsSameHandle) {
+  MetricsRegistry reg(2);
+  MetricsRegistry::Counter* a = reg.GetCounter("driver.commits");
+  MetricsRegistry::Counter* b = reg.GetCounter("driver.commits");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("driver.aborts.contention"), a);
+  EXPECT_EQ(reg.GetGauge("admission.queue_depth"),
+            reg.GetGauge("admission.queue_depth"));
+  EXPECT_EQ(reg.GetHistogram("driver.commit_latency_window"),
+            reg.GetHistogram("driver.commit_latency_window"));
+}
+
+TEST(MetricsRegistryTest, CounterMergesEngineCellsAndControl) {
+  MetricsRegistry reg(3);
+  MetricsRegistry::Counter* c = reg.GetCounter("x");
+  c->Add(0);
+  c->Add(1, 5);
+  c->Add(2, 2);
+  c->AddControl(10);
+  EXPECT_EQ(c->Sum(), 18u);
+}
+
+TEST(MetricsRegistryTest, GaugeAppliesDeltasAndControlSet) {
+  MetricsRegistry reg(2);
+  MetricsRegistry::Gauge* g = reg.GetGauge("depth");
+  g->Add(0, 3);
+  g->Add(1, 2);
+  g->Add(0, -1);
+  EXPECT_EQ(g->Value(), 4);
+  MetricsRegistry::Gauge* w = reg.GetGauge("width");
+  w->Set(7);
+  EXPECT_EQ(w->Value(), 7);
+  w->Set(2);
+  EXPECT_EQ(w->Value(), 2);
+}
+
+TEST(MetricsRegistryTest, HistogramTakeMergedDrains) {
+  MetricsRegistry reg(2);
+  MetricsRegistry::Hist* h = reg.GetHistogram("lat");
+  h->Add(0, 100);
+  h->Add(1, 300);
+  Histogram merged = h->TakeMerged();
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.min(), 100u);
+  EXPECT_EQ(merged.max(), 300u);
+  EXPECT_EQ(h->Merged().count(), 0u);  // drained
+  h->Add(0, 50);
+  EXPECT_EQ(h->TakeMerged().count(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotEmitsNameSortedCounterSamples) {
+  MetricsRegistry reg(1);
+  reg.GetCounter("b.counter")->Add(0, 2);
+  reg.GetCounter("a.counter")->Add(0, 1);
+  reg.GetGauge("a.gauge")->Add(0, 5);
+  TraceRecorder trace = MakeRecorder(1, 1, 1);
+  reg.Snapshot(1000, &trace);
+  EXPECT_EQ(trace.events_recorded(), 3u);
+  const std::string json = trace.DumpJson();
+  const size_t a = json.find("\"name\":\"a.counter\"");
+  const size_t b = json.find("\"name\":\"b.counter\"");
+  const size_t g = json.find("\"name\":\"a.gauge\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(g, std::string::npos);
+  // Counters in name order, then gauges.
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, g);
+}
+
+TEST(MetricsRegistryTest, SnapshotIntoInactiveTraceIsNoOp) {
+  MetricsRegistry reg(1);
+  reg.GetCounter("x")->Add(0);
+  TraceRecorder off = MakeRecorder(0, 1, 1);
+  reg.Snapshot(10, &off);
+  EXPECT_EQ(off.events_recorded(), 0u);
+  reg.Snapshot(10, nullptr);  // must not crash
+}
+
+}  // namespace
+}  // namespace chiller::obs
